@@ -1,0 +1,24 @@
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace tempriv::bench {
+
+/// Prints the table to stdout and saves it as bench_results/<tag>.csv so
+/// every figure can be re-plotted from the emitted data.
+inline void emit(const std::string& tag, const metrics::Table& table) {
+  std::cout << "\n== " << tag << " ==\n";
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) {
+    table.save_csv("bench_results/" + tag + ".csv");
+    std::cout << "(csv: bench_results/" << tag << ".csv)\n";
+  }
+}
+
+}  // namespace tempriv::bench

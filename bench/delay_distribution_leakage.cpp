@@ -1,0 +1,120 @@
+// §3.1 — why exponential delays? The paper motivates Exp(µ) as the
+// maximum-entropy non-negative distribution for a given mean. This bench
+// compares delay distributions *at equal mean delay* (i.e. equal latency
+// cost and equal M/M/∞-style buffer demand) on four measures:
+//
+//   1. differential entropy h(Y) (closed form),
+//   2. empirically-estimated leakage I(X; X+Y) for a uniform creation
+//      window (rank/copula MI estimator — robust to heavy tails),
+//   3. the baseline adversary's MSE in a 9-hop simulation, and
+//   4. the adversary's *median* absolute error in the same run.
+//
+// Expected shape: the exponential has the largest h(Y) and the smallest
+// leakage. Deterministic delay is provably worthless (zero entropy, exact
+// subtraction). The heavy-tailed Pareto is instructive: it posts the
+// largest MSE (outlier-dominated) yet leaks the MOST information and has a
+// tiny median error — most packets are barely delayed. MSE alone can
+// flatter a bad delay distribution; the information metric cannot.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "adversary/estimator.h"
+#include "adversary/ground_truth.h"
+#include "core/disciplines.h"
+#include "core/factories.h"
+#include "crypto/payload.h"
+#include "infotheory/estimators.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "workload/source.h"
+
+namespace {
+
+using namespace tempriv;
+
+constexpr double kMeanDelay = 30.0;
+
+double empirical_leakage(const core::DelayDistribution& delay,
+                         std::uint64_t seed) {
+  constexpr std::size_t kTrials = 50000;
+  sim::RandomStream rng(seed);
+  std::vector<double> xs(kTrials);
+  std::vector<double> zs(kTrials);
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    xs[t] = rng.uniform(0.0, 100.0);  // creation anywhere in a 100-unit window
+    zs[t] = xs[t] + delay.sample(rng);
+  }
+  return infotheory::mutual_information_ranked(xs, zs, 24);
+}
+
+struct AdversaryOutcome {
+  double mse = 0.0;
+  double median_abs_error = 0.0;
+};
+
+AdversaryOutcome adversary_outcome(const core::DelayDistribution& delay,
+                                   std::uint64_t seed) {
+  // Two-party network: source -> 8 forwarding hops -> sink; every node
+  // delays from `delay`; the adversary knows the mean (Kerckhoff).
+  sim::Simulator sim;
+  net::Network network(sim, net::Topology::line(10),
+                       core::unlimited_factory(delay), {},
+                       sim::RandomStream(seed));
+  crypto::Speck64_128::Key key{};
+  key.fill(0x99);
+  crypto::PayloadCodec codec(key);
+  adversary::BaselineAdversary adv(1.0, delay.mean());
+  adversary::GroundTruthRecorder truth(codec);
+  network.add_sink_observer(&adv);
+  network.add_sink_observer(&truth);
+  workload::PeriodicSource source(network, codec, 0, sim::RandomStream(seed + 1),
+                                  5.0, 2000);
+  source.start(0.0);
+  sim.run();
+
+  AdversaryOutcome outcome;
+  outcome.mse = truth.score_all(adv).mse();
+  std::vector<double> abs_errors;
+  abs_errors.reserve(adv.estimates().size());
+  for (const auto& est : adv.estimates()) {
+    abs_errors.push_back(
+        std::fabs(est.estimated_creation - truth.find(est.uid)->creation));
+  }
+  outcome.median_abs_error = metrics::percentile(std::move(abs_errors), 0.5);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::unique_ptr<core::DelayDistribution>> candidates;
+  candidates.push_back(std::make_unique<core::ConstantDelay>(kMeanDelay));
+  candidates.push_back(
+      std::make_unique<core::UniformDelay>(0.0, 2.0 * kMeanDelay));
+  candidates.push_back(std::make_unique<core::ExponentialDelay>(kMeanDelay));
+  candidates.push_back(
+      std::make_unique<core::ParetoDelay>(kMeanDelay / 3.0, 1.5));
+
+  metrics::Table table({"delay distribution (mean 30)", "h(Y) nats",
+                        "ranked I(X;X+Y) nats", "adversary MSE (9 hops)",
+                        "median |error|"});
+  std::uint64_t seed = 900;
+  for (const auto& delay : candidates) {
+    const AdversaryOutcome outcome = adversary_outcome(*delay, seed + 7);
+    table.add_row({delay->name(),
+                   metrics::format_number(delay->differential_entropy(), 3),
+                   metrics::format_number(empirical_leakage(*delay, seed), 3),
+                   metrics::format_number(outcome.mse, 1),
+                   metrics::format_number(outcome.median_abs_error, 1)});
+    seed += 100;
+  }
+
+  tempriv::bench::emit("delay_distribution_leakage", table);
+  return 0;
+}

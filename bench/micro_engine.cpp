@@ -1,0 +1,92 @@
+// Engine microbenchmarks (google-benchmark): the discrete-event kernel,
+// the deterministic RNG, RCAD buffer operations, and a full paper-scenario
+// run. These bound how large a network the simulator can handle.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/disciplines.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace tempriv;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  sim::RandomStream rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.schedule(rng.uniform(0.0, 1000.0), [] {});
+    }
+    while (queue.pop()) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  sim::RandomStream rng(2);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(queue.schedule(rng.uniform(0.0, 1000.0), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) queue.cancel(ids[i]);
+    while (queue.pop()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::RandomStream rng(3);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += rng.exponential_mean(30.0);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t remaining = 100000;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) sim.schedule_after(1.0, chain);
+    };
+    sim.schedule_after(1.0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_PaperScenarioRcad(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::PaperScenario scenario;
+    scenario.scheme = workload::Scheme::kRcad;
+    scenario.interarrival = 2.0;
+    scenario.packets_per_source = 200;
+    const auto result = run_paper_scenario(scenario);
+    benchmark::DoNotOptimize(result.delivered);
+  }
+}
+BENCHMARK(BM_PaperScenarioRcad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

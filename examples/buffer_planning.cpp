@@ -1,0 +1,66 @@
+// Buffer planning walkthrough — the paper's §3/§4 analysis as a design
+// tool, no simulation involved.
+//
+// Given a deployment (per-source report rate, buffer slots per mote, a
+// tolerable preemption/drop budget), this example computes:
+//   1. the mean privacy delay 1/µ each traffic level can afford (Erlang
+//      dimensioning, Eq. 5),
+//   2. the buffer occupancy that choice implies (M/M/∞ law),
+//   3. the information leaked to the adversary over an n-packet stream
+//      (Anantharam–Verdú bound, Eq. 4), and
+//   4. how the leakage falls as the delay budget grows — the paper's
+//      privacy/buffering trade-off, quantified.
+
+#include <iostream>
+
+#include "infotheory/entropy.h"
+#include "metrics/table.h"
+#include "queueing/erlang.h"
+
+int main() {
+  using namespace tempriv;
+
+  std::cout << "Temporal-privacy buffer planning (analytic; no simulation)\n\n";
+
+  // 1/2: what delay can a node afford at drop budget alpha, and what does
+  // it cost in buffer occupancy?
+  metrics::Table afford({"traffic lambda", "slots k", "drop budget alpha",
+                         "max mean delay 1/mu", "E[N] if unbounded (rho)"});
+  for (const double lambda : {0.1, 0.5, 2.0}) {
+    for (const std::size_t k : {std::size_t{5}, std::size_t{10}}) {
+      for (const double alpha : {0.01, 0.1}) {
+        const double mu = queueing::mu_for_target_loss(lambda, k, alpha);
+        afford.add_numeric_row({lambda, static_cast<double>(k), alpha,
+                                1.0 / mu, lambda / mu},
+                               3);
+      }
+    }
+  }
+  afford.print(std::cout);
+
+  // 3/4: leakage over a 1000-packet stream as the delay budget grows.
+  std::cout << "\nLeakage bound for a Poisson(0.5) source over 1000 packets\n"
+               "(Eq. 4: I(X^n;Z^n) <= sum_j ln(1 + j*mu/lambda), nats):\n\n";
+  metrics::Table leak({"mean delay 1/mu", "bound (nats)", "per packet",
+                       "h(Y) per hop (nats)"});
+  constexpr double kLambda = 0.5;
+  constexpr std::uint64_t kPackets = 1000;
+  for (const double mean_delay : {1.0, 5.0, 15.0, 30.0, 60.0, 120.0}) {
+    const double bound = infotheory::av_leakage_bound_sum(
+        kPackets, 1.0 / mean_delay, kLambda);
+    leak.add_numeric_row({mean_delay, bound,
+                          bound / static_cast<double>(kPackets),
+                          infotheory::exponential_entropy(mean_delay)},
+                         3);
+  }
+  leak.print(std::cout);
+
+  std::cout << "\nReading the tables together: doubling the mean privacy\n"
+               "delay roughly halves the adversary's per-packet information\n"
+               "(Eq. 4 is ~ln(1 + j*mu/lambda)) but doubles the expected\n"
+               "buffer occupancy rho = lambda/mu - temporal privacy and\n"
+               "buffer utilization are conflicting objectives (paper, S4),\n"
+               "and RCAD is what keeps the conflict safe when the budget\n"
+               "is exceeded at run time.\n";
+  return 0;
+}

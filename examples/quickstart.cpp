@@ -1,0 +1,43 @@
+// Quickstart: the temporal-privacy problem and RCAD in ~60 lines.
+//
+// We run the paper's evaluation scenario (Figure 1 topology: four periodic
+// sources, hop counts 15/22/9/11, per-hop tx delay 1) under the three
+// schemes of §5.3 and print the two headline metrics for flow S1:
+// the adversary's mean square error when estimating packet-creation times
+// (higher = more temporal privacy) and the mean delivery latency (lower =
+// cheaper). RCAD delivers high privacy at a fraction of the latency cost of
+// unlimited buffering.
+
+#include <iostream>
+
+#include "metrics/table.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace tempriv;
+
+  std::cout << "Temporal privacy quickstart -- paper scenario at high traffic\n"
+            << "(1/lambda = 2, 1/mu = 30, k = 10 buffer slots, 1000 pkts/src)\n\n";
+
+  metrics::Table table({"scheme", "S1 adversary MSE", "S1 mean latency",
+                        "preemptions", "drops"});
+
+  for (workload::Scheme scheme :
+       {workload::Scheme::kNoDelay, workload::Scheme::kUnlimitedDelay,
+        workload::Scheme::kRcad}) {
+    workload::PaperScenario scenario;
+    scenario.interarrival = 2.0;  // the paper's highest traffic rate
+    scenario.scheme = scheme;
+    const workload::ScenarioResult result = run_paper_scenario(scenario);
+    const workload::FlowResult& s1 = result.flows.front();
+    table.add_row({to_string(scheme), metrics::format_number(s1.mse_baseline, 1),
+                   metrics::format_number(s1.mean_latency, 1),
+                   std::to_string(result.preemptions),
+                   std::to_string(result.drops)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nHigher MSE = better temporal privacy; RCAD combines high MSE\n"
+               "with far lower latency than unlimited buffering.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "adversary/eavesdropper.h"
+
+#include <stdexcept>
+
+namespace tempriv::adversary {
+
+InNetworkEavesdropper::InNetworkEavesdropper(const Config& config,
+                                             net::Network& network,
+                                             std::set<net::NodeId> radio_range)
+    : config_(config), radio_range_(std::move(radio_range)) {
+  if (config.hop_tx_delay < 0.0 || config.mean_delay_per_hop < 0.0) {
+    throw std::invalid_argument("InNetworkEavesdropper: negative knowledge");
+  }
+  if (radio_range_.empty()) {
+    throw std::invalid_argument("InNetworkEavesdropper: empty radio range");
+  }
+  network.add_transmit_probe([this](net::NodeId from, net::NodeId /*to*/,
+                                    const net::Packet& packet, sim::Time now) {
+    if (radio_range_.count(from) != 0) overhear(packet, now);
+  });
+}
+
+void InNetworkEavesdropper::overhear(const net::Packet& packet, double now) {
+  if (!seen_.insert(packet.uid).second) return;  // already estimated
+  flows_.insert(packet.header.origin);
+
+  const double h = static_cast<double>(packet.header.hop_count);
+  Estimate estimate;
+  estimate.uid = packet.uid;
+  estimate.flow = packet.header.origin;
+  estimate.arrival = now;
+  estimate.estimated_creation = now - (h - 1.0) * config_.hop_tx_delay -
+                                h * config_.mean_delay_per_hop;
+  estimates_.push_back(estimate);
+}
+
+}  // namespace tempriv::adversary

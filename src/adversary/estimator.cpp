@@ -1,0 +1,106 @@
+#include "adversary/estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "queueing/erlang.h"
+
+namespace tempriv::adversary {
+
+void Adversary::on_delivery(const net::Packet& packet, sim::Time arrival) {
+  FlowObservation& obs = flow_stats_[packet.header.origin];
+  if (obs.packets == 0) obs.first_arrival = arrival;
+  ++obs.packets;
+  obs.last_arrival = arrival;
+  obs.hop_count = packet.header.hop_count;
+  obs.recent_arrivals.push_back(arrival);
+  if (obs.recent_arrivals.size() > FlowObservation::kRateWindow) {
+    obs.recent_arrivals.pop_front();
+  }
+
+  Estimate est;
+  est.uid = packet.uid;
+  est.flow = packet.header.origin;
+  est.arrival = arrival;
+  est.estimated_creation = estimate_creation(packet.header, arrival, obs);
+  estimates_.push_back(est);
+}
+
+std::vector<Estimate> Adversary::estimates_for_flow(net::NodeId flow) const {
+  std::vector<Estimate> out;
+  for (const Estimate& est : estimates_) {
+    if (est.flow == flow) out.push_back(est);
+  }
+  return out;
+}
+
+double Adversary::total_rate_estimate() const noexcept {
+  double total = 0.0;
+  for (const auto& [flow, obs] : flow_stats_) total += obs.rate_estimate();
+  return total;
+}
+
+BaselineAdversary::BaselineAdversary(double hop_tx_delay,
+                                     double mean_delay_per_hop)
+    : hop_tx_delay_(hop_tx_delay), mean_delay_per_hop_(mean_delay_per_hop) {
+  if (hop_tx_delay < 0.0 || mean_delay_per_hop < 0.0) {
+    throw std::invalid_argument("BaselineAdversary: negative delay knowledge");
+  }
+}
+
+double BaselineAdversary::estimate_creation(const net::RoutingHeader& header,
+                                            double arrival,
+                                            const FlowObservation&) {
+  const double h = static_cast<double>(header.hop_count);
+  return arrival - h * hop_tx_delay_ - h * mean_delay_per_hop_;
+}
+
+AdaptiveAdversary::AdaptiveAdversary(const Config& config) : config_(config) {
+  if (config.hop_tx_delay < 0.0 || config.mean_delay_per_hop < 0.0) {
+    throw std::invalid_argument("AdaptiveAdversary: negative delay knowledge");
+  }
+  if (config.buffer_slots == 0) {
+    throw std::invalid_argument("AdaptiveAdversary: buffer_slots must be >= 1");
+  }
+  if (config.loss_threshold <= 0.0 || config.loss_threshold >= 1.0) {
+    throw std::invalid_argument("AdaptiveAdversary: threshold outside (0,1)");
+  }
+}
+
+double AdaptiveAdversary::estimate_creation(const net::RoutingHeader& header,
+                                            double arrival,
+                                            const FlowObservation& obs) {
+  const double h = static_cast<double>(header.hop_count);
+  if (config_.mean_delay_per_hop == 0.0) {
+    // Network deploys no privacy delays: nothing to adapt to.
+    preemption_regime_ = false;
+    return arrival - h * config_.hop_tx_delay;
+  }
+  const double mu = 1.0 / config_.mean_delay_per_hop;
+
+  // Erlang-loss regime test (paper §5.4): a high predicted overflow
+  // probability means RCAD is preempting, so realized per-hop delays track
+  // k/λ rather than 1/µ and the adversary switches its delay estimate.
+  const double test_rate = config_.aggregate_rate_test ? total_rate_estimate()
+                                                       : obs.rate_estimate();
+  preemption_regime_ = false;
+  double per_hop_delay = config_.mean_delay_per_hop;
+  if (test_rate > 0.0) {
+    const double rho = test_rate / mu;
+    if (queueing::erlang_loss(rho, config_.buffer_slots) >
+        config_.loss_threshold) {
+      const double flow_rate = obs.rate_estimate();
+      if (flow_rate > 0.0) {
+        preemption_regime_ = true;
+        per_hop_delay =
+            static_cast<double>(config_.buffer_slots) / flow_rate;
+        if (config_.clamp_to_no_preemption_mean) {
+          per_hop_delay = std::min(per_hop_delay, config_.mean_delay_per_hop);
+        }
+      }
+    }
+  }
+  return arrival - h * config_.hop_tx_delay - h * per_hop_delay;
+}
+
+}  // namespace tempriv::adversary

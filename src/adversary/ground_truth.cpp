@@ -1,0 +1,65 @@
+#include "adversary/ground_truth.h"
+
+#include <stdexcept>
+
+namespace tempriv::adversary {
+
+void GroundTruthRecorder::on_delivery(const net::Packet& packet,
+                                      sim::Time arrival) {
+  const auto payload = codec_.open(packet.payload);
+  if (!payload) {
+    throw std::runtime_error(
+        "GroundTruthRecorder: payload failed authentication");
+  }
+  Record record;
+  record.flow = packet.header.origin;
+  record.creation = payload->creation_time;
+  record.arrival = arrival;
+  record.app_seq = payload->app_seq;
+  records_[packet.uid] = record;
+
+  const double lat = arrival - payload->creation_time;
+  latency_[packet.header.origin].add(lat);
+  total_latency_.add(lat);
+}
+
+const GroundTruthRecorder::Record* GroundTruthRecorder::find(
+    std::uint64_t uid) const {
+  const auto it = records_.find(uid);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const metrics::StreamingStats& GroundTruthRecorder::latency(
+    net::NodeId flow) const {
+  const auto it = latency_.find(flow);
+  if (it == latency_.end()) {
+    throw std::out_of_range("GroundTruthRecorder::latency: unknown flow");
+  }
+  return it->second;
+}
+
+metrics::MseAccumulator GroundTruthRecorder::score_estimates(
+    const std::vector<Estimate>& estimates) const {
+  metrics::MseAccumulator acc;
+  for (const Estimate& est : estimates) {
+    const Record* truth = find(est.uid);
+    if (truth == nullptr) {
+      throw std::logic_error(
+          "GroundTruthRecorder::score_estimates: estimate for unseen packet");
+    }
+    acc.add(est.estimated_creation, truth->creation);
+  }
+  return acc;
+}
+
+metrics::MseAccumulator GroundTruthRecorder::score_flow(
+    const Adversary& adversary, net::NodeId flow) const {
+  return score_estimates(adversary.estimates_for_flow(flow));
+}
+
+metrics::MseAccumulator GroundTruthRecorder::score_all(
+    const Adversary& adversary) const {
+  return score_estimates(adversary.estimates());
+}
+
+}  // namespace tempriv::adversary

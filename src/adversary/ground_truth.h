@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "adversary/estimator.h"
+#include "crypto/payload.h"
+#include "metrics/stats.h"
+#include "net/network.h"
+
+namespace tempriv::adversary {
+
+/// The legitimate monitoring application at the sink: holds the network key,
+/// decrypts every delivered payload, and records ground truth (true creation
+/// time, application sequence number) plus delivery latency per flow.
+///
+/// Scoring an Adversary against this recorder computes the paper's privacy
+/// metric: MSE of the adversary's creation-time estimates (§2.1, §5.1).
+/// Estimates are joined to ground truth by the simulator-internal uid, so
+/// packet reordering (which the paper's sorted-arrival model allows) never
+/// mis-scores an estimate.
+class GroundTruthRecorder final : public net::SinkObserver {
+ public:
+  struct Record {
+    net::NodeId flow = net::kInvalidNode;
+    double creation = 0.0;
+    double arrival = 0.0;
+    std::uint32_t app_seq = 0;
+  };
+
+  /// `codec` must be the codec whose key sealed the payloads (shared
+  /// network key). Kept by reference; must outlive the recorder.
+  explicit GroundTruthRecorder(const crypto::PayloadCodec& codec)
+      : codec_(codec) {}
+
+  /// Decrypts and records. Throws std::runtime_error if a payload fails
+  /// authentication — in this simulator that is always a harness bug.
+  void on_delivery(const net::Packet& packet, sim::Time arrival) override;
+
+  const Record* find(std::uint64_t uid) const;
+  std::size_t delivered() const noexcept { return records_.size(); }
+
+  /// End-to-end delivery latency (creation → sink) for one flow.
+  const metrics::StreamingStats& latency(net::NodeId flow) const;
+
+  /// Latency across all flows.
+  const metrics::StreamingStats& total_latency() const noexcept {
+    return total_latency_;
+  }
+
+  /// Scores every estimate the adversary made for `flow`. Estimates whose
+  /// uid was never delivered are impossible by construction (the adversary
+  /// only sees delivered packets) and raise std::logic_error.
+  metrics::MseAccumulator score_flow(const Adversary& adversary,
+                                     net::NodeId flow) const;
+
+  /// Scores all estimates regardless of flow.
+  metrics::MseAccumulator score_all(const Adversary& adversary) const;
+
+  /// Scores any estimate list (e.g. from an InNetworkEavesdropper) against
+  /// the recorded ground truth; same uid-join semantics as score_flow.
+  metrics::MseAccumulator score_estimates(
+      const std::vector<Estimate>& estimates) const;
+
+ private:
+
+  const crypto::PayloadCodec& codec_;
+  std::unordered_map<std::uint64_t, Record> records_;
+  std::map<net::NodeId, metrics::StreamingStats> latency_;
+  metrics::StreamingStats total_latency_;
+};
+
+}  // namespace tempriv::adversary

@@ -1,0 +1,80 @@
+#include "adversary/path_aware.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "queueing/erlang.h"
+
+namespace tempriv::adversary {
+
+PathAwareAdversary::PathAwareAdversary(const Config& config,
+                                       const net::Topology& topology,
+                                       const net::RoutingTable& routing)
+    : config_(config), topology_(topology), routing_(routing) {
+  if (config.hop_tx_delay < 0.0 || config.mean_delay_per_hop < 0.0) {
+    throw std::invalid_argument("PathAwareAdversary: negative delay knowledge");
+  }
+  if (config.buffer_slots == 0) {
+    throw std::invalid_argument("PathAwareAdversary: buffer_slots must be >= 1");
+  }
+  if (config.loss_threshold <= 0.0 || config.loss_threshold >= 1.0) {
+    throw std::invalid_argument("PathAwareAdversary: threshold outside (0,1)");
+  }
+}
+
+const std::vector<net::NodeId>& PathAwareAdversary::path_of(net::NodeId flow) {
+  const auto it = path_cache_.find(flow);
+  if (it != path_cache_.end()) return it->second;
+  return path_cache_.emplace(flow, routing_.path_to_sink(flow)).first->second;
+}
+
+std::map<net::NodeId, double> PathAwareAdversary::node_rates() {
+  std::map<net::NodeId, double> rates;
+  for (const auto& [flow, obs] : flow_observations()) {
+    const double rate = obs.rate_estimate();
+    if (rate <= 0.0) continue;
+    for (const net::NodeId node : path_of(flow)) {
+      if (node != topology_.sink()) rates[node] += rate;
+    }
+  }
+  return rates;
+}
+
+double PathAwareAdversary::estimate_creation(const net::RoutingHeader& header,
+                                             double arrival,
+                                             const FlowObservation&) {
+  const double h = static_cast<double>(header.hop_count);
+  if (config_.mean_delay_per_hop == 0.0) {
+    return arrival - h * config_.hop_tx_delay;  // no privacy delays deployed
+  }
+  const double mu = 1.0 / config_.mean_delay_per_hop;
+
+  // Flows are identified by their origin; an origin we cannot route (it
+  // should not happen — the packet got here) falls back to h hops at 1/µ.
+  if (header.origin >= routing_.node_count() ||
+      !routing_.reachable(header.origin)) {
+    return arrival - h * (config_.hop_tx_delay + config_.mean_delay_per_hop);
+  }
+
+  const std::map<net::NodeId, double> rates = node_rates();
+  double total_delay = 0.0;
+  for (const net::NodeId node : path_of(header.origin)) {
+    if (node == topology_.sink()) continue;
+    total_delay += config_.hop_tx_delay;
+    double node_delay = config_.mean_delay_per_hop;
+    const auto it = rates.find(node);
+    if (it != rates.end() && it->second > 0.0) {
+      const double rho = it->second / mu;
+      if (queueing::erlang_loss(rho, config_.buffer_slots) >
+          config_.loss_threshold) {
+        node_delay = std::min(
+            config_.mean_delay_per_hop,
+            static_cast<double>(config_.buffer_slots) / it->second);
+      }
+    }
+    total_delay += node_delay;
+  }
+  return arrival - total_delay;
+}
+
+}  // namespace tempriv::adversary

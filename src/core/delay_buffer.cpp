@@ -1,0 +1,94 @@
+#include "core/delay_buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tempriv::core {
+
+DelayBuffer::DelayBuffer(std::unique_ptr<DelayDistribution> delay)
+    : delay_(std::move(delay)) {
+  if (!delay_) throw std::invalid_argument("DelayBuffer: null delay distribution");
+}
+
+void DelayBuffer::admit(net::Packet&& packet, net::NodeContext& ctx) {
+  admit_with_delay(std::move(packet), ctx, delay_->sample(ctx.rng()));
+}
+
+void DelayBuffer::admit_with_delay(net::Packet&& packet, net::NodeContext& ctx,
+                                   double delay) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("DelayBuffer::admit_with_delay: negative delay");
+  }
+  const double now = ctx.simulator().now();
+  const std::uint64_t uid = packet.uid;
+  Held held{std::move(packet), sim::EventId{}, now, now + delay};
+  held.release_event = ctx.simulator().schedule_after(
+      delay, [this, uid, &ctx] { release(uid, ctx); });
+  held_.push_back(std::move(held));
+}
+
+net::Packet DelayBuffer::eject(std::size_t index, net::NodeContext& ctx) {
+  if (index >= held_.size()) {
+    throw std::out_of_range("DelayBuffer::eject: bad index");
+  }
+  ctx.simulator().cancel(held_[index].release_event);
+  net::Packet packet = std::move(held_[index].packet);
+  held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(index));
+  return packet;
+}
+
+void DelayBuffer::release(std::uint64_t uid, net::NodeContext& ctx) {
+  const auto it = std::find_if(held_.begin(), held_.end(), [uid](const Held& h) {
+    return h.packet.uid == uid;
+  });
+  if (it == held_.end()) return;  // already ejected (defensive; cancel() should prevent this)
+  net::Packet packet = std::move(it->packet);
+  held_.erase(it);
+  ctx.transmit(std::move(packet));
+}
+
+std::size_t select_victim(const std::vector<DelayBuffer::Held>& held,
+                          VictimPolicy policy, double now,
+                          sim::RandomStream& rng) {
+  if (held.empty()) throw std::invalid_argument("select_victim: empty buffer");
+  auto remaining = [now](const DelayBuffer::Held& h) {
+    return h.release_time - now;
+  };
+  std::size_t best = 0;
+  switch (policy) {
+    case VictimPolicy::kShortestRemaining:
+      for (std::size_t i = 1; i < held.size(); ++i) {
+        if (remaining(held[i]) < remaining(held[best])) best = i;
+      }
+      return best;
+    case VictimPolicy::kLongestRemaining:
+      for (std::size_t i = 1; i < held.size(); ++i) {
+        if (remaining(held[i]) > remaining(held[best])) best = i;
+      }
+      return best;
+    case VictimPolicy::kRandom:
+      return static_cast<std::size_t>(rng.uniform_index(held.size()));
+    case VictimPolicy::kOldest:
+      for (std::size_t i = 1; i < held.size(); ++i) {
+        if (held[i].enqueue_time < held[best].enqueue_time) best = i;
+      }
+      return best;
+  }
+  throw std::logic_error("select_victim: unknown policy");
+}
+
+const char* to_string(VictimPolicy policy) noexcept {
+  switch (policy) {
+    case VictimPolicy::kShortestRemaining:
+      return "shortest-remaining";
+    case VictimPolicy::kLongestRemaining:
+      return "longest-remaining";
+    case VictimPolicy::kRandom:
+      return "random";
+    case VictimPolicy::kOldest:
+      return "oldest";
+  }
+  return "unknown";
+}
+
+}  // namespace tempriv::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/delay_distribution.h"
+#include "net/forwarding.h"
+
+namespace tempriv::core {
+
+/// Shared machinery for the buffering disciplines: holds packets, schedules
+/// their future release through the simulation kernel, and supports
+/// cancelling a scheduled release so a packet can be ejected early (the
+/// RCAD preemption primitive).
+class DelayBuffer {
+ public:
+  struct Held {
+    net::Packet packet;
+    sim::EventId release_event;
+    double enqueue_time = 0.0;
+    double release_time = 0.0;
+  };
+
+  explicit DelayBuffer(std::unique_ptr<DelayDistribution> delay);
+
+  std::size_t size() const noexcept { return held_.size(); }
+  const std::vector<Held>& held() const noexcept { return held_; }
+  const DelayDistribution& delay_distribution() const noexcept { return *delay_; }
+
+  /// Draws a delay Y for the packet and schedules its transmission at
+  /// now + Y. The packet leaves the buffer (and is transmitted via `ctx`)
+  /// when the event fires.
+  void admit(net::Packet&& packet, net::NodeContext& ctx);
+
+  /// Like admit(), but with a caller-chosen delay (>= 0) instead of a draw
+  /// from the distribution — used by disciplines that retune their delay
+  /// parameters online (see ErlangTunedRcad).
+  void admit_with_delay(net::Packet&& packet, net::NodeContext& ctx,
+                        double delay);
+
+  /// Cancels the scheduled release of the buffered packet at `index` and
+  /// returns it to the caller (who decides what to do with it — RCAD
+  /// transmits it immediately). Throws std::out_of_range on a bad index.
+  net::Packet eject(std::size_t index, net::NodeContext& ctx);
+
+ private:
+  void release(std::uint64_t uid, net::NodeContext& ctx);
+
+  std::unique_ptr<DelayDistribution> delay_;
+  std::vector<Held> held_;
+};
+
+/// RCAD victim-selection rule (paper §5 uses shortest-remaining-delay; the
+/// alternatives exist for the ablation bench).
+enum class VictimPolicy {
+  kShortestRemaining,  ///< paper: closest to its natural departure
+  kLongestRemaining,   ///< adversarial ablation: most premature release
+  kRandom,             ///< uniformly random buffered packet
+  kOldest,             ///< earliest enqueue time (FIFO-style)
+};
+
+/// Index of the victim in `held` per `policy`. Requires non-empty `held`.
+std::size_t select_victim(const std::vector<DelayBuffer::Held>& held,
+                          VictimPolicy policy, double now,
+                          sim::RandomStream& rng);
+
+const char* to_string(VictimPolicy policy) noexcept;
+
+}  // namespace tempriv::core

@@ -1,0 +1,88 @@
+#include "core/delay_distribution.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "infotheory/entropy.h"
+#include "metrics/table.h"
+
+namespace tempriv::core {
+
+namespace {
+constexpr double kMinusInfinity = -std::numeric_limits<double>::infinity();
+}
+
+double NoDelay::differential_entropy() const noexcept { return kMinusInfinity; }
+
+ConstantDelay::ConstantDelay(double delay) : delay_(delay) {
+  if (delay < 0.0) throw std::invalid_argument("ConstantDelay: negative delay");
+}
+
+double ConstantDelay::differential_entropy() const noexcept {
+  return kMinusInfinity;  // point mass
+}
+
+std::string ConstantDelay::name() const {
+  return "constant(" + metrics::format_number(delay_, 2) + ")";
+}
+
+UniformDelay::UniformDelay(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (lo < 0.0 || !(lo < hi)) {
+    throw std::invalid_argument("UniformDelay: requires 0 <= lo < hi");
+  }
+}
+
+double UniformDelay::sample(sim::RandomStream& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+double UniformDelay::differential_entropy() const noexcept {
+  return infotheory::uniform_entropy(lo_, hi_);
+}
+
+std::string UniformDelay::name() const {
+  return "uniform(" + metrics::format_number(lo_, 2) + "," +
+         metrics::format_number(hi_, 2) + ")";
+}
+
+ExponentialDelay::ExponentialDelay(double mean) : mean_(mean) {
+  if (mean <= 0.0) throw std::invalid_argument("ExponentialDelay: mean <= 0");
+}
+
+double ExponentialDelay::sample(sim::RandomStream& rng) const {
+  return rng.exponential_mean(mean_);
+}
+
+double ExponentialDelay::differential_entropy() const noexcept {
+  return infotheory::exponential_entropy(mean_);
+}
+
+std::string ExponentialDelay::name() const {
+  return "exp(mean=" + metrics::format_number(mean_, 2) + ")";
+}
+
+ParetoDelay::ParetoDelay(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  if (xm <= 0.0 || alpha <= 0.0) {
+    throw std::invalid_argument("ParetoDelay: xm, alpha must be positive");
+  }
+}
+
+double ParetoDelay::sample(sim::RandomStream& rng) const {
+  return rng.pareto(xm_, alpha_);
+}
+
+double ParetoDelay::mean() const noexcept {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double ParetoDelay::differential_entropy() const noexcept {
+  return infotheory::pareto_entropy(xm_, alpha_);
+}
+
+std::string ParetoDelay::name() const {
+  return "pareto(xm=" + metrics::format_number(xm_, 2) +
+         ",alpha=" + metrics::format_number(alpha_, 2) + ")";
+}
+
+}  // namespace tempriv::core

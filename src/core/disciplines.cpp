@@ -1,0 +1,43 @@
+#include "core/disciplines.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tempriv::core {
+
+DropTailDelaying::DropTailDelaying(std::unique_ptr<DelayDistribution> delay,
+                                   std::size_t capacity)
+    : buffer_(std::move(delay)), capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("DropTailDelaying: capacity must be >= 1");
+  }
+}
+
+void DropTailDelaying::on_packet(net::Packet&& packet, net::NodeContext& ctx) {
+  if (buffer_.size() >= capacity_) {
+    ++drops_;
+    return;  // packet destroyed; the Erlang-loss event of Eq. (5)
+  }
+  buffer_.admit(std::move(packet), ctx);
+}
+
+RcadDiscipline::RcadDiscipline(std::unique_ptr<DelayDistribution> delay,
+                               std::size_t capacity, VictimPolicy victim_policy)
+    : buffer_(std::move(delay)), capacity_(capacity), victim_policy_(victim_policy) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RcadDiscipline: capacity must be >= 1");
+  }
+}
+
+void RcadDiscipline::on_packet(net::Packet&& packet, net::NodeContext& ctx) {
+  if (buffer_.size() >= capacity_) {
+    const std::size_t victim = select_victim(
+        buffer_.held(), victim_policy_, ctx.simulator().now(), ctx.rng());
+    net::Packet early = buffer_.eject(victim, ctx);
+    ++preemptions_;
+    ctx.transmit(std::move(early));
+  }
+  buffer_.admit(std::move(packet), ctx);
+}
+
+}  // namespace tempriv::core

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/delay_buffer.h"
+#include "core/delay_distribution.h"
+#include "net/forwarding.h"
+
+namespace tempriv::core {
+
+/// Case 1 of the paper's evaluation: forward every packet the instant it
+/// arrives. No privacy effort; latency = hop count × τ exactly.
+class ImmediateForwarding final : public net::ForwardingDiscipline {
+ public:
+  void on_packet(net::Packet&& packet, net::NodeContext& ctx) override {
+    ctx.transmit(std::move(packet));
+  }
+  std::size_t buffered() const noexcept override { return 0; }
+};
+
+/// Case 2: delay every packet by an independent draw from the delay
+/// distribution, with unbounded buffer space (the idealized M/M/∞ model of
+/// §4 when the delays are exponential).
+class UnlimitedDelaying final : public net::ForwardingDiscipline {
+ public:
+  explicit UnlimitedDelaying(std::unique_ptr<DelayDistribution> delay)
+      : buffer_(std::move(delay)) {}
+
+  void on_packet(net::Packet&& packet, net::NodeContext& ctx) override {
+    buffer_.admit(std::move(packet), ctx);
+  }
+  std::size_t buffered() const noexcept override { return buffer_.size(); }
+
+ private:
+  DelayBuffer buffer_;
+};
+
+/// The M/M/k/k model of §4 with plain packet dropping: an arrival that
+/// finds all `capacity` slots full is discarded (counted in drops()).
+class DropTailDelaying final : public net::ForwardingDiscipline {
+ public:
+  DropTailDelaying(std::unique_ptr<DelayDistribution> delay, std::size_t capacity);
+
+  void on_packet(net::Packet&& packet, net::NodeContext& ctx) override;
+  std::size_t buffered() const noexcept override { return buffer_.size(); }
+  std::uint64_t drops() const noexcept override { return drops_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  DelayBuffer buffer_;
+  std::size_t capacity_;
+  std::uint64_t drops_ = 0;
+};
+
+/// RCAD — Rate-Controlled Adaptive Delaying (paper §5, the headline
+/// contribution). Behaves like DropTailDelaying, except that when the
+/// buffer is full the node *preempts* a buffered packet instead of dropping
+/// the arrival: the victim (by default the packet with the shortest
+/// remaining delay, so realized delays stay closest to the intended
+/// distribution) has its release event cancelled and is transmitted
+/// immediately; the new packet is then admitted with a fresh delay.
+/// Preemption adapts the effective service rate µ to the offered load
+/// automatically — no signalling, no parameter changes.
+class RcadDiscipline final : public net::ForwardingDiscipline {
+ public:
+  RcadDiscipline(std::unique_ptr<DelayDistribution> delay, std::size_t capacity,
+                 VictimPolicy victim_policy = VictimPolicy::kShortestRemaining);
+
+  void on_packet(net::Packet&& packet, net::NodeContext& ctx) override;
+  std::size_t buffered() const noexcept override { return buffer_.size(); }
+  std::uint64_t preemptions() const noexcept override { return preemptions_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  VictimPolicy victim_policy() const noexcept { return victim_policy_; }
+
+ private:
+  DelayBuffer buffer_;
+  std::size_t capacity_;
+  VictimPolicy victim_policy_;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace tempriv::core

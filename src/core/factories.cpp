@@ -1,0 +1,76 @@
+#include "core/factories.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/disciplines.h"
+
+namespace tempriv::core {
+
+net::DisciplineFactory immediate_factory() {
+  return [](net::NodeId, std::uint16_t) {
+    return std::make_unique<ImmediateForwarding>();
+  };
+}
+
+net::DisciplineFactory unlimited_factory(const DelayDistribution& prototype) {
+  return [proto = std::shared_ptr<DelayDistribution>(prototype.clone())](net::NodeId, std::uint16_t)
+             -> std::unique_ptr<net::ForwardingDiscipline> {
+    return std::make_unique<UnlimitedDelaying>(proto->clone());
+  };
+}
+
+net::DisciplineFactory unlimited_exponential_factory(double mean_delay) {
+  return unlimited_factory(ExponentialDelay(mean_delay));
+}
+
+net::DisciplineFactory droptail_factory(const DelayDistribution& prototype,
+                                        std::size_t capacity) {
+  return [proto = std::shared_ptr<DelayDistribution>(prototype.clone()), capacity](net::NodeId, std::uint16_t)
+             -> std::unique_ptr<net::ForwardingDiscipline> {
+    return std::make_unique<DropTailDelaying>(proto->clone(), capacity);
+  };
+}
+
+net::DisciplineFactory droptail_exponential_factory(double mean_delay,
+                                                    std::size_t capacity) {
+  return droptail_factory(ExponentialDelay(mean_delay), capacity);
+}
+
+net::DisciplineFactory rcad_factory(const DelayDistribution& prototype,
+                                    std::size_t capacity,
+                                    VictimPolicy victim_policy) {
+  return [proto = std::shared_ptr<DelayDistribution>(prototype.clone()), capacity, victim_policy](
+             net::NodeId, std::uint16_t)
+             -> std::unique_ptr<net::ForwardingDiscipline> {
+    return std::make_unique<RcadDiscipline>(proto->clone(), capacity,
+                                            victim_policy);
+  };
+}
+
+net::DisciplineFactory rcad_exponential_factory(double mean_delay,
+                                                std::size_t capacity,
+                                                VictimPolicy victim_policy) {
+  return rcad_factory(ExponentialDelay(mean_delay), capacity, victim_policy);
+}
+
+net::DisciplineFactory unlimited_exponential_profile_factory(DelayProfile profile) {
+  return [profile = std::move(profile)](net::NodeId, std::uint16_t hops)
+             -> std::unique_ptr<net::ForwardingDiscipline> {
+    return std::make_unique<UnlimitedDelaying>(
+        std::make_unique<ExponentialDelay>(profile(hops)));
+  };
+}
+
+net::DisciplineFactory rcad_exponential_profile_factory(
+    DelayProfile profile, std::size_t capacity, VictimPolicy victim_policy) {
+  return [profile = std::move(profile), capacity, victim_policy](
+             net::NodeId, std::uint16_t hops)
+             -> std::unique_ptr<net::ForwardingDiscipline> {
+    return std::make_unique<RcadDiscipline>(
+        std::make_unique<ExponentialDelay>(profile(hops)), capacity,
+        victim_policy);
+  };
+}
+
+}  // namespace tempriv::core

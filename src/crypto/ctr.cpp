@@ -1,0 +1,63 @@
+#include "crypto/ctr.h"
+
+#include <cstring>
+
+namespace tempriv::crypto {
+
+namespace {
+
+Speck64_128::Block to_block(std::uint64_t v) noexcept {
+  Speck64_128::Block b;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return b;
+}
+
+std::uint64_t from_block(const Speck64_128::Block& b) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void CtrCipher::crypt(std::uint64_t nonce, std::span<std::uint8_t> data) const noexcept {
+  std::uint64_t counter = 0;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    Speck64_128::Block keystream = to_block(nonce ^ counter);
+    cipher_.encrypt_block(keystream);
+    const std::size_t chunk =
+        std::min(Speck64_128::kBlockBytes, data.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) data[offset + i] ^= keystream[i];
+    offset += chunk;
+    ++counter;
+  }
+}
+
+std::vector<std::uint8_t> CtrCipher::crypt_copy(
+    std::uint64_t nonce, std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  crypt(nonce, out);
+  return out;
+}
+
+std::uint64_t CbcMac::tag(std::span<const std::uint8_t> data) const noexcept {
+  // Block 0 encodes the length; then CBC-chain the zero-padded message.
+  Speck64_128::Block state = to_block(static_cast<std::uint64_t>(data.size()));
+  cipher_.encrypt_block(state);
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t chunk =
+        std::min(Speck64_128::kBlockBytes, data.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) state[i] ^= data[offset + i];
+    cipher_.encrypt_block(state);
+    offset += chunk;
+  }
+  return from_block(state);
+}
+
+}  // namespace tempriv::crypto

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/ctr.h"
+#include "crypto/speck.h"
+
+namespace tempriv::crypto {
+
+/// The application-level content of a sensor message (paper §2, "Encrypted
+/// Payload"): the sensed reading, the application sequence number, and the
+/// time-stamp of the reading. All of it is confidential — in particular the
+/// time-stamp and sequence number, which is why the adversary must infer
+/// creation times from arrival times alone.
+struct SensorPayload {
+  double reading = 0.0;        ///< sensed value (e.g. temperature, RSSI)
+  std::uint32_t app_seq = 0;   ///< per-source application sequence number
+  double creation_time = 0.0;  ///< time the reading was taken (sim units)
+
+  friend bool operator==(const SensorPayload&, const SensorPayload&) = default;
+};
+
+/// An encrypted, authenticated payload as it travels through the network.
+/// Intermediate nodes and the adversary see only this opaque blob.
+struct SealedPayload {
+  std::uint64_t nonce = 0;
+  std::vector<std::uint8_t> ciphertext;
+  std::uint64_t tag = 0;
+};
+
+/// Seals and opens sensor payloads with a network-wide key pair (one CTR
+/// encryption key, one independent MAC key), mirroring SPINS-style
+/// link/network keys on motes. Nonces are derived from (origin, app_seq),
+/// which the source guarantees never repeats.
+class PayloadCodec {
+ public:
+  /// Derives the CTR and MAC keys from a 128-bit master key.
+  explicit PayloadCodec(const Speck64_128::Key& master_key) noexcept;
+
+  SealedPayload seal(const SensorPayload& payload, std::uint32_t origin_id) const;
+
+  /// Returns nullopt if the MAC does not verify (tampering / wrong key).
+  std::optional<SensorPayload> open(const SealedPayload& sealed) const;
+
+ private:
+  CtrCipher ctr_;
+  CbcMac mac_;
+};
+
+}  // namespace tempriv::crypto

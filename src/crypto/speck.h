@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tempriv::crypto {
+
+/// Speck64/128 block cipher (NSA lightweight cipher family, 2013): 64-bit
+/// block, 128-bit key, 27 rounds. Speck was designed for exactly the class
+/// of constrained devices the paper targets (sensor motes), which is why we
+/// use it as the payload-confidentiality substrate. The implementation is
+/// the reference ARX description — no table lookups, constant-time.
+class Speck64_128 {
+ public:
+  static constexpr std::size_t kBlockBytes = 8;
+  static constexpr std::size_t kKeyBytes = 16;
+  static constexpr int kRounds = 27;
+
+  using Block = std::array<std::uint8_t, kBlockBytes>;
+  using Key = std::array<std::uint8_t, kKeyBytes>;
+
+  /// Expands the 128-bit key into the round-key schedule.
+  explicit Speck64_128(const Key& key) noexcept;
+
+  /// Encrypts one 64-bit block in place (two 32-bit little-endian words).
+  void encrypt_block(Block& block) const noexcept;
+
+  /// Decrypts one 64-bit block in place.
+  void decrypt_block(Block& block) const noexcept;
+
+  /// Word-level API used by the modes below.
+  void encrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept;
+  void decrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept;
+
+ private:
+  std::array<std::uint32_t, kRounds> round_keys_{};
+};
+
+}  // namespace tempriv::crypto

@@ -1,0 +1,213 @@
+#include "infotheory/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "infotheory/entropy.h"
+
+namespace tempriv::infotheory {
+
+namespace {
+
+struct Range {
+  double lo;
+  double hi;
+};
+
+Range sample_range(std::span<const double> samples, const char* who) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument(std::string(who) + ": needs >= 2 samples");
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(samples.begin(), samples.end());
+  if (!(*lo_it < *hi_it)) {
+    throw std::invalid_argument(std::string(who) + ": zero sample spread");
+  }
+  return {*lo_it, *hi_it};
+}
+
+std::size_t bin_of(double x, const Range& r, std::size_t bins) {
+  const double t = (x - r.lo) / (r.hi - r.lo);
+  auto idx = static_cast<std::size_t>(t * static_cast<double>(bins));
+  return std::min(idx, bins - 1);  // put the max sample in the last bin
+}
+
+}  // namespace
+
+double entropy_histogram(std::span<const double> samples, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("entropy_histogram: bins >= 1");
+  const Range r = sample_range(samples, "entropy_histogram");
+  const double width = (r.hi - r.lo) / static_cast<double>(bins);
+  std::vector<std::uint64_t> counts(bins, 0);
+  for (double x : samples) ++counts[bin_of(x, r, bins)];
+  const auto n = static_cast<double>(samples.size());
+  double h = 0.0;
+  for (std::uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log(p / width);
+  }
+  return h;
+}
+
+double entropy_knn(std::span<const double> samples, unsigned k) {
+  if (k == 0) throw std::invalid_argument("entropy_knn: k >= 1");
+  if (samples.size() <= k) {
+    throw std::invalid_argument("entropy_knn: needs more samples than k");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  double log_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // k-th nearest neighbor in 1-D: scan the (at most 2k) candidates around
+    // i in the sorted order with a two-pointer merge.
+    std::size_t left = i;
+    std::size_t right = i;
+    double r = 0.0;
+    for (unsigned taken = 0; taken < k; ++taken) {
+      const double dl = left > 0 ? sorted[i] - sorted[left - 1]
+                                 : std::numeric_limits<double>::infinity();
+      const double dr = right + 1 < n ? sorted[right + 1] - sorted[i]
+                                      : std::numeric_limits<double>::infinity();
+      if (dl <= dr) {
+        r = dl;
+        --left;
+      } else {
+        r = dr;
+        ++right;
+      }
+    }
+    // Guard against duplicate samples (r == 0 would blow up the log).
+    log_sum += std::log(std::max(2.0 * r, 1e-300));
+  }
+  return digamma(static_cast<double>(n)) - digamma(static_cast<double>(k)) +
+         log_sum / static_cast<double>(n);
+}
+
+double mutual_information_histogram(std::span<const double> xs,
+                                    std::span<const double> zs,
+                                    std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("mutual_information_histogram: bins >= 1");
+  if (xs.size() != zs.size()) {
+    throw std::invalid_argument("mutual_information_histogram: size mismatch");
+  }
+  const Range rx = sample_range(xs, "mutual_information_histogram(x)");
+  const Range rz = sample_range(zs, "mutual_information_histogram(z)");
+  std::vector<std::uint64_t> joint(bins * bins, 0);
+  std::vector<std::uint64_t> mx(bins, 0);
+  std::vector<std::uint64_t> mz(bins, 0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t bx = bin_of(xs[i], rx, bins);
+    const std::size_t bz = bin_of(zs[i], rz, bins);
+    ++joint[bx * bins + bz];
+    ++mx[bx];
+    ++mz[bz];
+  }
+  const auto n = static_cast<double>(xs.size());
+  double mi = 0.0;
+  for (std::size_t bx = 0; bx < bins; ++bx) {
+    for (std::size_t bz = 0; bz < bins; ++bz) {
+      const std::uint64_t c = joint[bx * bins + bz];
+      if (c == 0) continue;
+      const double pxz = static_cast<double>(c) / n;
+      const double px = static_cast<double>(mx[bx]) / n;
+      const double pz = static_cast<double>(mz[bz]) / n;
+      mi += pxz * std::log(pxz / (px * pz));
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+namespace {
+
+std::vector<double> normalized_ranks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&xs](std::size_t a, std::size_t b) {
+    if (xs[a] != xs[b]) return xs[a] < xs[b];
+    return a < b;  // deterministic tie-break
+  });
+  std::vector<double> ranks(xs.size());
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    ranks[order[r]] =
+        static_cast<double>(r) / static_cast<double>(xs.size());
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double mutual_information_ranked(std::span<const double> xs,
+                                 std::span<const double> zs,
+                                 std::size_t bins) {
+  if (xs.size() != zs.size()) {
+    throw std::invalid_argument("mutual_information_ranked: size mismatch");
+  }
+  const std::vector<double> rx = normalized_ranks(xs);
+  const std::vector<double> rz = normalized_ranks(zs);
+  return mutual_information_histogram(rx, rz, bins);
+}
+
+double mutual_information_ksg(std::span<const double> xs,
+                              std::span<const double> zs, unsigned k) {
+  if (xs.size() != zs.size()) {
+    throw std::invalid_argument("mutual_information_ksg: size mismatch");
+  }
+  if (k == 0) throw std::invalid_argument("mutual_information_ksg: k >= 1");
+  const std::size_t n = xs.size();
+  if (n <= k) {
+    throw std::invalid_argument("mutual_information_ksg: needs more samples than k");
+  }
+
+  double psi_sum = 0.0;
+  std::vector<double> kth(k);  // k smallest joint distances for point i
+  for (std::size_t i = 0; i < n; ++i) {
+    // k-th nearest joint max-norm distance (brute force).
+    std::fill(kth.begin(), kth.end(), std::numeric_limits<double>::infinity());
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d =
+          std::max(std::fabs(xs[j] - xs[i]), std::fabs(zs[j] - zs[i]));
+      if (d < kth.back()) {
+        // Insertion into the small sorted buffer of size k.
+        std::size_t pos = k - 1;
+        while (pos > 0 && kth[pos - 1] > d) {
+          kth[pos] = kth[pos - 1];
+          --pos;
+        }
+        kth[pos] = d;
+      }
+    }
+    const double eps = kth.back();
+    std::size_t nx = 0;
+    std::size_t nz = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (std::fabs(xs[j] - xs[i]) < eps) ++nx;
+      if (std::fabs(zs[j] - zs[i]) < eps) ++nz;
+    }
+    psi_sum += digamma(static_cast<double>(nx + 1)) +
+               digamma(static_cast<double>(nz + 1));
+  }
+  const double mi = digamma(static_cast<double>(k)) +
+                    digamma(static_cast<double>(n)) -
+                    psi_sum / static_cast<double>(n);
+  return std::max(mi, 0.0);
+}
+
+double leakage_from_delays(std::span<const double> creation_times,
+                           std::span<const double> delays, std::size_t bins) {
+  if (creation_times.size() != delays.size()) {
+    throw std::invalid_argument("leakage_from_delays: size mismatch");
+  }
+  std::vector<double> arrivals(creation_times.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i] = creation_times[i] + delays[i];
+  }
+  return mutual_information_histogram(creation_times, arrivals, bins);
+}
+
+}  // namespace tempriv::infotheory

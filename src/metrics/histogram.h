@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tempriv::metrics {
+
+/// Fixed-width-bin histogram over [lo, hi) with under/overflow buckets.
+/// Used for buffer-occupancy distributions (to compare against the Poisson
+/// PMF that M/M/∞ analysis predicts) and for empirical entropy estimation.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double bin_width() const noexcept { return width_; }
+  double bin_lower_edge(std::size_t i) const noexcept {
+    return lo_ + static_cast<double>(i) * width_;
+  }
+  double bin_center(std::size_t i) const noexcept {
+    return bin_lower_edge(i) + width_ / 2.0;
+  }
+
+  /// Fraction of in-range samples in bin i (0 if no samples).
+  double frequency(std::size_t i) const;
+
+  /// Normalized probability-density estimate at bin i.
+  double density(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Counts of non-negative integer outcomes (buffer occupancy N(t) ∈ ℕ).
+/// Grows on demand; exposes the empirical PMF for chi-square style checks.
+class IntegerHistogram {
+ public:
+  void add(std::uint64_t value);
+
+  std::uint64_t count(std::uint64_t value) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t max_value() const noexcept;
+  double pmf(std::uint64_t value) const noexcept;
+  double mean() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Time-weighted integer occupancy tracker: records how long the tracked
+/// quantity (e.g. buffer occupancy) spent at each level, which is the
+/// stationary distribution a queueing model predicts.
+class TimeWeightedOccupancy {
+ public:
+  /// Declare that the level changed to `level` at time `now`.
+  void record(double now, std::uint64_t level);
+
+  /// Close the observation window at time `now`.
+  void finish(double now);
+
+  double total_time() const noexcept { return total_time_; }
+  double fraction_at(std::uint64_t level) const noexcept;
+  double mean_level() const noexcept;
+  std::uint64_t max_level() const noexcept;
+
+ private:
+  std::vector<double> time_at_level_;
+  double total_time_ = 0.0;
+  double last_change_ = 0.0;
+  std::uint64_t current_level_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace tempriv::metrics

@@ -1,0 +1,191 @@
+#include "net/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tempriv::net {
+
+/// Per-node adapter that gives the node's ForwardingDiscipline access to the
+/// simulator, a private RNG stream, and the link layer.
+class Network::NodeShell final : public NodeContext {
+ public:
+  NodeShell(Network& net, NodeId id, std::uint16_t hops,
+            std::unique_ptr<ForwardingDiscipline> discipline,
+            sim::RandomStream rng)
+      : net_(net),
+        id_(id),
+        hops_(hops),
+        discipline_(std::move(discipline)),
+        rng_(rng) {}
+
+  sim::Simulator& simulator() noexcept override { return net_.simulator_; }
+  sim::RandomStream& rng() noexcept override { return rng_; }
+  NodeId id() const noexcept override { return id_; }
+  std::uint16_t hops_to_sink() const noexcept override { return hops_; }
+
+  void transmit(Packet&& packet) override {
+    // Pick the next hop while the header still shows where the packet came
+    // from (selectors use prev_hop to avoid immediate backtracking), then
+    // update the cleartext header the way MultiHop does on each forward.
+    const NodeId next = net_.pick_next_hop(id_, packet, rng_);
+    packet.header.prev_hop = id_;
+    packet.header.hop_count =
+        static_cast<std::uint16_t>(packet.header.hop_count + 1);
+    packet.header.routing_seq = routing_seq_++;
+    for (const TransmitProbe& probe : net_.transmit_probes_) {
+      probe(id_, next, packet, net_.simulator_.now());
+    }
+    double link_delay = net_.config_.hop_tx_delay;
+    if (net_.config_.hop_jitter > 0.0) {
+      link_delay += rng_.uniform(0.0, net_.config_.hop_jitter);
+    }
+    net_.simulator_.schedule_after(
+        link_delay, [&net = net_, next, moved = std::move(packet)]() mutable {
+          net.arrive(next, std::move(moved));
+        });
+    net_.probe(id_);
+  }
+
+  void handle(Packet&& packet) {
+    discipline_->on_packet(std::move(packet), *this);
+    net_.probe(id_);
+  }
+
+  const ForwardingDiscipline& discipline() const noexcept { return *discipline_; }
+
+ private:
+  Network& net_;
+  NodeId id_;
+  std::uint16_t hops_;
+  std::unique_ptr<ForwardingDiscipline> discipline_;
+  sim::RandomStream rng_;
+  std::uint16_t routing_seq_ = 0;
+};
+
+Network::Network(sim::Simulator& simulator, Topology topology,
+                 const DisciplineFactory& factory, NetworkConfig config,
+                 const sim::RandomStream& root_rng)
+    : simulator_(simulator),
+      topology_(std::move(topology)),
+      routing_(topology_),
+      config_(config) {
+  if (config_.hop_tx_delay <= 0.0) {
+    throw std::invalid_argument("Network: hop_tx_delay must be positive");
+  }
+  if (config_.hop_jitter < 0.0) {
+    throw std::invalid_argument("Network: hop_jitter must be >= 0");
+  }
+  nodes_.resize(topology_.node_count());
+  for (NodeId id = 0; id < topology_.node_count(); ++id) {
+    if (id == topology_.sink() || !routing_.reachable(id)) continue;
+    nodes_[id] = std::make_unique<NodeShell>(
+        *this, id, routing_.hops_to_sink(id), factory(id, routing_.hops_to_sink(id)),
+        root_rng.split(id));
+  }
+}
+
+Network::~Network() = default;
+
+std::uint64_t Network::originate(NodeId origin, crypto::SealedPayload payload) {
+  if (origin >= topology_.node_count() || origin == topology_.sink() ||
+      !nodes_[origin]) {
+    throw std::invalid_argument("Network::originate: bad origin node");
+  }
+  Packet packet;
+  packet.header.origin = origin;
+  packet.header.prev_hop = origin;
+  packet.header.hop_count = 0;
+  packet.payload = std::move(payload);
+  packet.uid = next_uid_++;
+  // The source's own discipline runs first: the source may buffer the packet
+  // before its first transmission (the paper's Y0 term, §3.3).
+  nodes_[origin]->handle(std::move(packet));
+  return next_uid_ - 1;
+}
+
+void Network::add_sink_observer(SinkObserver* observer) {
+  if (observer == nullptr) {
+    throw std::invalid_argument("Network::add_sink_observer: null observer");
+  }
+  observers_.push_back(observer);
+}
+
+void Network::set_occupancy_probe(OccupancyProbe probe) {
+  occupancy_probe_ = std::move(probe);
+}
+
+void Network::add_transmit_probe(TransmitProbe probe) {
+  transmit_probes_.push_back(std::move(probe));
+}
+
+void Network::set_hop_selector(HopSelector selector) {
+  hop_selector_ = std::move(selector);
+}
+
+NodeId Network::pick_next_hop(NodeId current, const Packet& packet,
+                              sim::RandomStream& rng) {
+  if (!hop_selector_) return routing_.next_hop(current);
+  const NodeId next = hop_selector_(current, packet, rng);
+  if (!topology_.has_edge(current, next)) {
+    throw std::logic_error("Network: hop selector returned a non-neighbor");
+  }
+  return next;
+}
+
+const ForwardingDiscipline& Network::discipline(NodeId id) const {
+  if (id >= nodes_.size() || !nodes_[id]) {
+    throw std::out_of_range("Network::discipline: node has no discipline");
+  }
+  return nodes_[id]->discipline();
+}
+
+void Network::arrive(NodeId node, Packet&& packet) {
+  if (node == topology_.sink()) {
+    deliver(packet);
+    return;
+  }
+  if (!nodes_[node]) {
+    throw std::logic_error(
+        "Network: packet routed to a node with no route to the sink");
+  }
+  nodes_[node]->handle(std::move(packet));
+}
+
+void Network::deliver(const Packet& packet) {
+  ++delivered_;
+  for (SinkObserver* observer : observers_) {
+    observer->on_delivery(packet, simulator_.now());
+  }
+}
+
+void Network::probe(NodeId node) {
+  if (occupancy_probe_) {
+    occupancy_probe_(node, simulator_.now(), nodes_[node]->discipline().buffered());
+  }
+}
+
+std::uint64_t Network::total_preemptions() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node) total += node->discipline().preemptions();
+  }
+  return total;
+}
+
+std::uint64_t Network::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node) total += node->discipline().drops();
+  }
+  return total;
+}
+
+std::size_t Network::total_buffered() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node) total += node->discipline().buffered();
+  }
+  return total;
+}
+
+}  // namespace tempriv::net

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/forwarding.h"
+#include "net/packet.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace tempriv::net {
+
+/// Receives every packet the moment it reaches the sink. This is the
+/// interface both the legitimate application (which can decrypt) and the
+/// eavesdropping adversary (which cannot) implement; they see exactly the
+/// same bytes at exactly the same instants.
+class SinkObserver {
+ public:
+  virtual ~SinkObserver() = default;
+  virtual void on_delivery(const Packet& packet, sim::Time arrival) = 0;
+};
+
+/// Optional instrumentation hook: called whenever a node's buffer occupancy
+/// may have changed (after every packet arrival and every transmission).
+using OccupancyProbe =
+    std::function<void(NodeId node, sim::Time now, std::size_t occupancy)>;
+
+/// Optional instrumentation hook: called for every link-layer transmission,
+/// with the updated cleartext header, at the instant the packet is handed
+/// to the link (it reaches `to` one hop-tx-delay later). Useful for packet
+/// tracing and for modeling adversaries that eavesdrop inside the network
+/// rather than at the sink.
+using TransmitProbe = std::function<void(NodeId from, NodeId to,
+                                         const Packet& packet, sim::Time now)>;
+
+struct NetworkConfig {
+  /// Constant per-hop transmission delay τ (paper §5.2 uses 1 time unit;
+  /// PHY/MAC details are abstracted away exactly as the paper does).
+  double hop_tx_delay = 1.0;
+  /// Optional MAC-contention jitter: each link traversal takes
+  /// τ + U[0, hop_jitter). 0 (default) reproduces the paper's constant
+  /// per-hop delay; a small positive value models CSMA backoff and is why
+  /// even the paper's "no delay" case has a small nonzero adversary MSE.
+  double hop_jitter = 0.0;
+};
+
+/// Per-transmission next-hop choice. The default is the BFS routing tree;
+/// installing a custom selector enables routing-level privacy schemes such
+/// as phantom routing (random walk before tree routing, the paper's cited
+/// prior work on source-location privacy). Must return a neighbor of
+/// `current` in the topology.
+using HopSelector = std::function<NodeId(NodeId current, const Packet& packet,
+                                         sim::RandomStream& rng)>;
+
+/// The store-and-forward sensor network: topology + BFS routing tree +
+/// one ForwardingDiscipline per non-sink node, driven by the simulation
+/// kernel. Packets are injected at source nodes via originate() and
+/// surface at the sink via SinkObserver callbacks.
+class Network {
+ public:
+  /// Throws std::invalid_argument if the topology is missing a sink or if
+  /// `config.hop_tx_delay` is not positive.
+  Network(sim::Simulator& simulator, Topology topology,
+          const DisciplineFactory& factory, NetworkConfig config,
+          const sim::RandomStream& root_rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();  // out of line: NodeShell is an implementation detail
+
+  /// Injects a freshly-created packet at `origin` at the current simulation
+  /// time. The caller seals the payload (see crypto::PayloadCodec); the
+  /// network never looks inside it. Returns the packet uid.
+  /// Throws std::invalid_argument if origin is the sink or unroutable.
+  std::uint64_t originate(NodeId origin, crypto::SealedPayload payload);
+
+  /// Registers a sink observer (non-owning; must outlive the run).
+  void add_sink_observer(SinkObserver* observer);
+
+  /// Installs an occupancy probe (non-owning use; copied functor).
+  void set_occupancy_probe(OccupancyProbe probe);
+
+  /// Registers a transmit probe (see TransmitProbe); any number may be
+  /// attached and all fire per transmission, in registration order.
+  void add_transmit_probe(TransmitProbe probe);
+
+  /// Replaces tree routing with a custom per-transmission hop selector
+  /// (see HopSelector). The returned node must be a topology neighbor of
+  /// the transmitting node or the transmission throws std::logic_error.
+  void set_hop_selector(HopSelector selector);
+
+  const Topology& topology() const noexcept { return topology_; }
+  const RoutingTable& routing() const noexcept { return routing_; }
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  double hop_tx_delay() const noexcept { return config_.hop_tx_delay; }
+
+  /// Discipline of a non-sink node (for stats: buffered/preemptions/drops).
+  const ForwardingDiscipline& discipline(NodeId id) const;
+
+  /// Network-wide counters.
+  std::uint64_t packets_originated() const noexcept { return next_uid_; }
+  std::uint64_t packets_delivered() const noexcept { return delivered_; }
+  std::uint64_t total_preemptions() const;
+  std::uint64_t total_drops() const;
+  std::size_t total_buffered() const;
+
+ private:
+  class NodeShell;  // NodeContext implementation, one per non-sink node
+
+  void arrive(NodeId node, Packet&& packet);
+  void deliver(const Packet& packet);
+  void probe(NodeId node);
+  NodeId pick_next_hop(NodeId current, const Packet& packet,
+                       sim::RandomStream& rng);
+
+  sim::Simulator& simulator_;
+  Topology topology_;
+  RoutingTable routing_;
+  NetworkConfig config_;
+  std::vector<std::unique_ptr<NodeShell>> nodes_;  // index = NodeId; sink slot empty
+  std::vector<SinkObserver*> observers_;
+  OccupancyProbe occupancy_probe_;
+  std::vector<TransmitProbe> transmit_probes_;
+  HopSelector hop_selector_;
+  std::uint64_t next_uid_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace tempriv::net

@@ -1,0 +1,37 @@
+#include "net/phantom.h"
+
+#include <stdexcept>
+
+namespace tempriv::net {
+
+HopSelector phantom_routing_selector(const Topology& topology,
+                                     const RoutingTable& routing,
+                                     std::uint16_t walk_hops) {
+  if (!routing.fully_connected()) {
+    throw std::invalid_argument(
+        "phantom_routing_selector: topology must be fully connected");
+  }
+  return [&topology, &routing, walk_hops](NodeId current, const Packet& packet,
+                                          sim::RandomStream& rng) -> NodeId {
+    // header.hop_count is the number of transmissions already completed
+    // (the header is updated after selection), so the first `walk_hops`
+    // transmissions random-walk and the rest follow the tree.
+    if (packet.header.hop_count >= walk_hops) {
+      return routing.next_hop(current);
+    }
+    const std::vector<NodeId>& neighbors = topology.neighbors(current);
+    // Avoid bouncing straight back when there is any alternative.
+    const NodeId came_from = packet.header.prev_hop;
+    if (neighbors.size() > 1) {
+      NodeId pick;
+      do {
+        pick = neighbors[static_cast<std::size_t>(
+            rng.uniform_index(neighbors.size()))];
+      } while (pick == came_from && came_from != current);
+      return pick;
+    }
+    return neighbors.front();
+  };
+}
+
+}  // namespace tempriv::net

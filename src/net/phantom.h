@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+
+namespace tempriv::net {
+
+/// Phantom routing — the source-location privacy scheme of the paper's own
+/// prior work (Kamat/Zhang/Trappe/Ozturk, ICDCS'05 [11] and SASN'04 [14]),
+/// rebuilt as a HopSelector so temporal and spatial privacy mechanisms can
+/// be composed and compared.
+///
+/// Each packet first performs a `walk_hops`-hop random walk (uniform
+/// neighbor, avoiding immediate backtracking where the degree allows) and
+/// then follows the shortest-path routing tree to the sink.
+///
+/// Temporal-privacy caveat, measured in bench/phantom_routing: against a
+/// header-reading adversary the walk alone adds NO temporal privacy — the
+/// cleartext hop count still reveals the exact journey length, so with
+/// constant per-hop delay the creation time remains perfectly invertible.
+/// Its value is spatial (decorrelating the first-heard location from the
+/// source) and, when composed with RCAD, additive path-length variance.
+///
+/// Requires a topology in which every node can reach the sink (the walk
+/// may visit any node).
+HopSelector phantom_routing_selector(const Topology& topology,
+                                     const RoutingTable& routing,
+                                     std::uint16_t walk_hops);
+
+}  // namespace tempriv::net

@@ -1,0 +1,71 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace tempriv::net {
+
+RoutingTable::RoutingTable(const Topology& topo) {
+  if (topo.sink() == kInvalidNode) {
+    throw std::invalid_argument("RoutingTable: topology has no sink");
+  }
+  const std::size_t n = topo.node_count();
+  next_hop_.assign(n, kInvalidNode);
+  hops_.assign(n, 0);
+  reachable_.assign(n, false);
+
+  std::deque<NodeId> frontier;
+  reachable_[topo.sink()] = true;
+  frontier.push_back(topo.sink());
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop_front();
+    // Deterministic parent choice: visit neighbors in ascending id order.
+    std::vector<NodeId> nbrs = topo.neighbors(current);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (NodeId nbr : nbrs) {
+      if (reachable_[nbr]) continue;
+      reachable_[nbr] = true;
+      next_hop_[nbr] = current;
+      hops_[nbr] = static_cast<std::uint16_t>(hops_[current] + 1);
+      frontier.push_back(nbr);
+    }
+  }
+}
+
+NodeId RoutingTable::next_hop(NodeId id) const {
+  if (id >= node_count()) throw std::out_of_range("RoutingTable::next_hop: bad id");
+  return next_hop_[id];
+}
+
+std::uint16_t RoutingTable::hops_to_sink(NodeId id) const {
+  if (id >= node_count()) throw std::out_of_range("RoutingTable::hops_to_sink: bad id");
+  if (!reachable_[id]) {
+    throw std::out_of_range("RoutingTable::hops_to_sink: node has no route");
+  }
+  return hops_[id];
+}
+
+bool RoutingTable::reachable(NodeId id) const {
+  if (id >= node_count()) throw std::out_of_range("RoutingTable::reachable: bad id");
+  return reachable_[id];
+}
+
+bool RoutingTable::fully_connected() const noexcept {
+  return std::all_of(reachable_.begin(), reachable_.end(),
+                     [](bool r) { return r; });
+}
+
+std::vector<NodeId> RoutingTable::path_to_sink(NodeId id) const {
+  if (!reachable(id)) {
+    throw std::out_of_range("RoutingTable::path_to_sink: node has no route");
+  }
+  std::vector<NodeId> path{id};
+  while (next_hop_[path.back()] != kInvalidNode) {
+    path.push_back(next_hop_[path.back()]);
+  }
+  return path;
+}
+
+}  // namespace tempriv::net

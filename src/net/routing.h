@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace tempriv::net {
+
+/// Shortest-path routing tree toward the sink, built with breadth-first
+/// search (hop-count metric, the metric of the MultiHop protocol the paper
+/// references). Deterministic: among equal-distance parents the smallest
+/// node id wins.
+class RoutingTable {
+ public:
+  /// Builds the tree for `topo` (throws std::invalid_argument if the
+  /// topology has no sink set).
+  explicit RoutingTable(const Topology& topo);
+
+  /// Next hop of `id` toward the sink; kInvalidNode for the sink itself and
+  /// for nodes with no route.
+  NodeId next_hop(NodeId id) const;
+
+  /// Hop distance from `id` to the sink; 0 for the sink itself. Throws
+  /// std::out_of_range for unroutable nodes (check reachable() first).
+  std::uint16_t hops_to_sink(NodeId id) const;
+
+  bool reachable(NodeId id) const;
+
+  /// True when every node can reach the sink.
+  bool fully_connected() const noexcept;
+
+  /// The full path from `id` to the sink, inclusive of both endpoints.
+  std::vector<NodeId> path_to_sink(NodeId id) const;
+
+  std::size_t node_count() const noexcept { return next_hop_.size(); }
+
+ private:
+  std::vector<NodeId> next_hop_;
+  std::vector<std::uint16_t> hops_;
+  std::vector<bool> reachable_;
+};
+
+}  // namespace tempriv::net

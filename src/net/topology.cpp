@@ -1,0 +1,187 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tempriv::net {
+
+NodeId Topology::add_node(Position pos) {
+  adjacency_.emplace_back();
+  positions_.push_back(pos);
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  if (a >= node_count() || b >= node_count()) {
+    throw std::out_of_range("Topology::add_edge: unknown node id");
+  }
+  if (a == b || has_edge(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId id) const {
+  if (id >= node_count()) throw std::out_of_range("Topology::neighbors: bad id");
+  return adjacency_[id];
+}
+
+const Position& Topology::position(NodeId id) const {
+  if (id >= node_count()) throw std::out_of_range("Topology::position: bad id");
+  return positions_[id];
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const {
+  if (a >= node_count() || b >= node_count()) return false;
+  const auto& nbrs = adjacency_[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+void Topology::set_sink(NodeId id) {
+  if (id >= node_count()) throw std::out_of_range("Topology::set_sink: bad id");
+  sink_ = id;
+}
+
+Topology Topology::line(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("Topology::line: needs >= 2 nodes");
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_node({static_cast<double>(i), 0.0});
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    topo.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  topo.set_sink(static_cast<NodeId>(n - 1));
+  return topo;
+}
+
+Topology Topology::grid(std::size_t width, std::size_t height, double spacing) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Topology::grid: empty dimension");
+  }
+  Topology topo;
+  for (std::size_t iy = 0; iy < height; ++iy) {
+    for (std::size_t ix = 0; ix < width; ++ix) {
+      topo.add_node({static_cast<double>(ix) * spacing,
+                     static_cast<double>(iy) * spacing});
+    }
+  }
+  auto id = [width](std::size_t ix, std::size_t iy) {
+    return static_cast<NodeId>(iy * width + ix);
+  };
+  for (std::size_t iy = 0; iy < height; ++iy) {
+    for (std::size_t ix = 0; ix < width; ++ix) {
+      if (ix + 1 < width) topo.add_edge(id(ix, iy), id(ix + 1, iy));
+      if (iy + 1 < height) topo.add_edge(id(ix, iy), id(ix, iy + 1));
+    }
+  }
+  topo.set_sink(id(0, 0));
+  return topo;
+}
+
+Topology Topology::random_geometric(std::size_t n, double side, double radius,
+                                    sim::RandomStream& rng) {
+  if (n == 0) throw std::invalid_argument("Topology::random_geometric: n == 0");
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_node({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  const double r2 = radius * radius;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const Position& pa = topo.position(a);
+      const Position& pb = topo.position(b);
+      const double dx = pa.x - pb.x;
+      const double dy = pa.y - pb.y;
+      if (dx * dx + dy * dy <= r2) topo.add_edge(a, b);
+    }
+  }
+  topo.set_sink(0);
+  return topo;
+}
+
+Topology Topology::star(std::size_t leaves) {
+  if (leaves == 0) throw std::invalid_argument("Topology::star: no leaves");
+  Topology topo;
+  const NodeId hub = topo.add_node({0.0, 0.0});
+  topo.set_sink(hub);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const double angle = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(i) / static_cast<double>(leaves);
+    const NodeId leaf = topo.add_node({std::cos(angle), std::sin(angle)});
+    topo.add_edge(hub, leaf);
+  }
+  return topo;
+}
+
+Topology Topology::binary_tree(std::size_t depth) {
+  Topology topo;
+  const std::size_t nodes = (std::size_t{1} << (depth + 1)) - 1;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    // Position by level for plotting: x = index within level, y = level.
+    std::size_t level = 0;
+    while ((std::size_t{1} << (level + 1)) - 1 <= i) ++level;
+    const std::size_t offset = i - ((std::size_t{1} << level) - 1);
+    topo.add_node({static_cast<double>(offset), static_cast<double>(level)});
+  }
+  for (std::size_t i = 1; i < nodes; ++i) {
+    topo.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i - 1) / 2));
+  }
+  topo.set_sink(0);
+  return topo;
+}
+
+ConvergingPaths Topology::converging_paths(
+    const std::vector<std::uint16_t>& hop_counts, std::uint16_t shared_tail) {
+  if (hop_counts.empty()) {
+    throw std::invalid_argument("converging_paths: no branches");
+  }
+  for (std::uint16_t h : hop_counts) {
+    if (h <= shared_tail) {
+      throw std::invalid_argument(
+          "converging_paths: each hop count must exceed the shared tail");
+    }
+  }
+  ConvergingPaths result;
+  Topology& topo = result.topology;
+
+  // Shared trunk: junction -> t1 -> ... -> sink, i.e. shared_tail hops from
+  // the junction to the sink. With shared_tail == 0 branches join the sink
+  // directly.
+  const NodeId sink = topo.add_node({0.0, 0.0});
+  topo.set_sink(sink);
+  NodeId junction = sink;
+  for (std::uint16_t t = 1; t <= shared_tail; ++t) {
+    const NodeId next = topo.add_node({static_cast<double>(t), 0.0});
+    topo.add_edge(junction, next);
+    junction = next;
+  }
+
+  // Each branch contributes (h - shared_tail) hops from its source to the
+  // junction, fanning out at distinct angles for plotting-friendly layout.
+  for (std::size_t b = 0; b < hop_counts.size(); ++b) {
+    const std::uint16_t branch_hops = hop_counts[b] - shared_tail;
+    const double angle =
+        3.14159265358979323846 * (static_cast<double>(b) + 1.0) /
+        (static_cast<double>(hop_counts.size()) + 1.0);
+    NodeId prev = junction;
+    for (std::uint16_t s = 1; s <= branch_hops; ++s) {
+      const double r = static_cast<double>(shared_tail + s);
+      const NodeId next =
+          topo.add_node({r * std::cos(angle), r * std::sin(angle)});
+      topo.add_edge(prev, next);
+      prev = next;
+    }
+    result.sources.push_back(prev);
+  }
+  return result;
+}
+
+ConvergingPaths Topology::paper_figure1() {
+  // Figure 1: flows S1..S4 with hop counts 15, 22, 9, 11; the drawing shows
+  // the paths meeting shortly before the sink, which we model as a 3-hop
+  // shared trunk.
+  return converging_paths({15, 22, 9, 11}, 3);
+}
+
+}  // namespace tempriv::net

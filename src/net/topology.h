@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/random.h"
+
+namespace tempriv::net {
+
+class Topology;
+
+/// A built multi-branch topology plus the source node id of each branch
+/// (see Topology::converging_paths / Topology::paper_figure1).
+struct ConvergingPaths;
+
+/// 2-D position of a node (used by geometric topologies and the
+/// mobile-asset workload; the paper's adversary knows all positions).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// An undirected connectivity graph of sensor nodes plus a designated sink.
+/// Construction helpers cover the topologies used across the evaluation:
+/// lines (the paper's §3.3 path model), grids (habitat monitoring),
+/// random-geometric graphs (generic deployments) and the paper's Figure-1
+/// topology of four source paths converging on a common sink.
+class Topology {
+ public:
+  /// Adds a node at `pos`; returns its id (dense, starting at 0).
+  NodeId add_node(Position pos = {});
+
+  /// Adds an undirected edge; ignores self-loops and duplicates.
+  /// Throws std::out_of_range for unknown node ids.
+  void add_edge(NodeId a, NodeId b);
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  const std::vector<NodeId>& neighbors(NodeId id) const;
+  const Position& position(NodeId id) const;
+  bool has_edge(NodeId a, NodeId b) const;
+
+  NodeId sink() const noexcept { return sink_; }
+  void set_sink(NodeId id);
+
+  /// Line S = node0 — node1 — ... — node(n-1) = sink. Requires n >= 2.
+  static Topology line(std::size_t n);
+
+  /// width × height grid with 4-connectivity; the sink is the node at
+  /// (0, 0). Node (ix, iy) has id iy*width + ix and position (ix, iy) * spacing.
+  static Topology grid(std::size_t width, std::size_t height,
+                       double spacing = 1.0);
+
+  /// n nodes placed uniformly at random in [0, side]² and connected when
+  /// within `radius`. Node 0 is the sink. Connectivity is not guaranteed;
+  /// callers should check routing coverage (see routing.h).
+  static Topology random_geometric(std::size_t n, double side, double radius,
+                                   sim::RandomStream& rng);
+
+  /// Star: `leaves` sources all one hop from the central sink (node 0) —
+  /// the maximal-aggregation case for the §4 superposition analysis.
+  static Topology star(std::size_t leaves);
+
+  /// Complete binary routing tree of the given depth; the root (node 0) is
+  /// the sink, leaves are 'depth' hops away. Node count is 2^(depth+1) − 1.
+  /// A natural shape for §4's "streams merge progressively" analysis.
+  static Topology binary_tree(std::size_t depth);
+
+  /// Disjoint source branches that merge into one shared trunk of
+  /// `shared_tail` hops ending at the sink ("streams merge progressively as
+  /// they approach the sink", §4). Branch i gives its source a total
+  /// hop-count of hop_counts[i]; requires every hop_counts[i] > shared_tail.
+  /// Returns the topology and the source node id for each branch.
+  static ConvergingPaths converging_paths(const std::vector<std::uint16_t>& hop_counts,
+                                          std::uint16_t shared_tail);
+
+  /// The paper's Figure-1 evaluation topology: four sources with hop counts
+  /// 15, 22, 9 and 11 converging on the sink (shared trunk of 3 hops).
+  static ConvergingPaths paper_figure1();
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Position> positions_;
+  NodeId sink_ = kInvalidNode;
+};
+
+struct ConvergingPaths {
+  Topology topology;
+  std::vector<NodeId> sources;
+};
+
+}  // namespace tempriv::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace tempriv::net {
+
+/// Records every link transmission of every packet — the full
+/// store-and-forward journey — for debugging, latency decomposition, and
+/// visualizing how RCAD reshapes per-hop holding times.
+///
+/// Installs itself as a transmit probe (probes are additive, so a tracer
+/// coexists with other listeners). The tracer must outlive the run.
+class PacketTracer {
+ public:
+  struct Hop {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    double at = 0.0;  ///< instant the packet was handed to the link
+  };
+
+  explicit PacketTracer(Network& network);
+
+  /// All hops of one packet in transmission order (empty if never seen).
+  const std::vector<Hop>& hops(std::uint64_t uid) const;
+
+  /// The node sequence the packet visited: origin, ..., final receiver.
+  std::vector<NodeId> path(std::uint64_t uid) const;
+
+  /// Holding time at each visited node: time between arriving at a node
+  /// (previous handoff + tx delay; 0 for the origin) and transmitting.
+  /// Element i corresponds to path()[i].
+  std::vector<double> holding_times(std::uint64_t uid) const;
+
+  std::size_t packets_traced() const noexcept { return traces_.size(); }
+  std::uint64_t transmissions() const noexcept { return transmissions_; }
+
+ private:
+  const Network& network_;
+  std::unordered_map<std::uint64_t, std::vector<Hop>> traces_;
+  std::vector<Hop> empty_;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace tempriv::net

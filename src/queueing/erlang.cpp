@@ -1,0 +1,79 @@
+#include "queueing/erlang.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tempriv::queueing {
+
+double poisson_pmf(double rho, std::uint64_t k) {
+  if (rho < 0.0) throw std::invalid_argument("poisson_pmf: rho < 0");
+  if (rho == 0.0) return k == 0 ? 1.0 : 0.0;
+  const double log_pmf = static_cast<double>(k) * std::log(rho) - rho -
+                         std::lgamma(static_cast<double>(k) + 1.0);
+  return std::exp(log_pmf);
+}
+
+double poisson_cdf(double rho, std::uint64_t k) {
+  if (rho < 0.0) throw std::invalid_argument("poisson_cdf: rho < 0");
+  // Forward recurrence on the PMF terms; stable for the moderate ρ (< 10^3)
+  // that sensor buffers see.
+  double term = std::exp(-rho);
+  double sum = term;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    term *= rho / static_cast<double>(i);
+    sum += term;
+  }
+  return std::min(sum, 1.0);
+}
+
+double erlang_loss(double rho, std::uint64_t k) {
+  if (rho < 0.0) throw std::invalid_argument("erlang_loss: rho < 0");
+  double inv = 1.0;  // 1 / E(rho, 0)
+  for (std::uint64_t j = 1; j <= k; ++j) {
+    // 1/E(ρ,j) = 1 + j / (ρ E(ρ,j-1))  =>  inv_j = 1 + j * inv_{j-1} / ρ
+    inv = 1.0 + static_cast<double>(j) * inv / rho;
+  }
+  return 1.0 / inv;
+}
+
+double mmkk_occupancy_pmf(double rho, std::uint64_t k, std::uint64_t n) {
+  if (n > k) return 0.0;
+  // Normalize the Poisson PMF over {0..k}.
+  const double truncated_mass = poisson_cdf(rho, k);
+  if (truncated_mass <= 0.0) return n == k ? 1.0 : 0.0;
+  return poisson_pmf(rho, n) / truncated_mass;
+}
+
+double mmkk_expected_occupancy(double rho, std::uint64_t k) {
+  return rho * (1.0 - erlang_loss(rho, k));
+}
+
+double max_rho_for_loss(double target_loss, std::uint64_t k) {
+  if (target_loss <= 0.0 || target_loss >= 1.0) {
+    throw std::invalid_argument("max_rho_for_loss: target in (0,1) required");
+  }
+  // E(ρ, k) is strictly increasing in ρ, E(0,k)=0, E(ρ,k)→1: bisect.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (erlang_loss(hi, k) < target_loss) {
+    hi *= 2.0;
+    if (hi > 1e12) return hi;  // target loss ~1; effectively unbounded
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (erlang_loss(mid, k) < target_loss) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double mu_for_target_loss(double lambda, std::uint64_t k, double alpha) {
+  if (lambda <= 0.0) throw std::invalid_argument("mu_for_target_loss: lambda <= 0");
+  const double rho = max_rho_for_loss(alpha, k);
+  return lambda / rho;
+}
+
+}  // namespace tempriv::queueing

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tempriv::queueing {
+
+/// Poisson PMF p_k = ρ^k e^{-ρ} / k!, computed in log space for stability.
+/// This is the stationary buffer-occupancy distribution of the paper's
+/// M/M/∞ model (§4): a node with Poisson(λ) arrivals that delays each
+/// packet Exp(µ) holds Poisson(ρ = λ/µ) packets.
+double poisson_pmf(double rho, std::uint64_t k);
+
+/// Poisson CDF P{N <= k}.
+double poisson_cdf(double rho, std::uint64_t k);
+
+/// Erlang loss (Erlang-B) formula, paper Eq. (5):
+///   E(ρ, k) = (ρ^k / k!) / Σ_{i=0}^{k} ρ^i / i!
+/// the probability that an arriving packet finds all k buffer slots of an
+/// M/M/k/k node occupied. Computed with the standard numerically-stable
+/// recurrence E(ρ, j) = ρ E(ρ, j−1) / (j + ρ E(ρ, j−1)), E(ρ, 0) = 1.
+/// Requires rho >= 0.
+double erlang_loss(double rho, std::uint64_t k);
+
+/// Stationary occupancy PMF of an M/M/k/k queue (truncated Poisson):
+///   P{N = n} = (ρ^n / n!) / Σ_{i=0}^{k} ρ^i / i!,  0 <= n <= k.
+double mmkk_occupancy_pmf(double rho, std::uint64_t k, std::uint64_t n);
+
+/// Expected occupancy of an M/M/k/k queue: ρ (1 − E(ρ, k)).
+double mmkk_expected_occupancy(double rho, std::uint64_t k);
+
+/// Largest ρ such that E(ρ, k) <= target_loss (the admissible offered load
+/// for a k-slot buffer at drop-rate budget α). Solved by bisection; exact to
+/// ~1e-12 relative. Requires 0 < target_loss < 1.
+double max_rho_for_loss(double target_loss, std::uint64_t k);
+
+/// The paper's dimensioning rule (§4, end): given incoming traffic rate
+/// `lambda`, buffer size `k`, and a target drop rate `alpha`, return the
+/// service rate µ (i.e. 1/mean-delay) a node must use. As λ grows toward
+/// the sink, the returned µ grows — i.e. the mean privacy delay 1/µ must
+/// shrink to keep the drop rate at α. Requires lambda > 0.
+double mu_for_target_loss(double lambda, std::uint64_t k, double alpha);
+
+}  // namespace tempriv::queueing

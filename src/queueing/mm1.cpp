@@ -1,0 +1,55 @@
+#include "queueing/mm1.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace tempriv::queueing {
+
+namespace {
+void require_stable(double lambda, double mu, const char* who) {
+  if (lambda <= 0.0 || mu <= 0.0) {
+    throw std::invalid_argument(std::string(who) + ": rates must be positive");
+  }
+  if (lambda >= mu) {
+    throw std::invalid_argument(std::string(who) + ": unstable (lambda >= mu)");
+  }
+}
+}  // namespace
+
+double mm1_utilization(double lambda, double mu) {
+  if (lambda <= 0.0 || mu <= 0.0) {
+    throw std::invalid_argument("mm1_utilization: rates must be positive");
+  }
+  return lambda / mu;
+}
+
+double mm1_mean_occupancy(double lambda, double mu) {
+  require_stable(lambda, mu, "mm1_mean_occupancy");
+  const double rho = lambda / mu;
+  return rho / (1.0 - rho);
+}
+
+double mm1_occupancy_pmf(double lambda, double mu, std::uint64_t n) {
+  require_stable(lambda, mu, "mm1_occupancy_pmf");
+  const double rho = lambda / mu;
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+double mm1_mean_sojourn(double lambda, double mu) {
+  require_stable(lambda, mu, "mm1_mean_sojourn");
+  return 1.0 / (mu - lambda);
+}
+
+double mm1_sojourn_variance(double lambda, double mu) {
+  require_stable(lambda, mu, "mm1_sojourn_variance");
+  const double mean = 1.0 / (mu - lambda);
+  return mean * mean;
+}
+
+double mm1_mean_wait(double lambda, double mu) {
+  require_stable(lambda, mu, "mm1_mean_wait");
+  return (lambda / mu) / (mu - lambda);
+}
+
+}  // namespace tempriv::queueing

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tempriv::queueing {
+
+/// Closed forms for the M/M/1 queue — the model behind the FIFO
+/// (order-preserving) delaying strategy that §3.2 considers and rejects.
+/// All functions require 0 < lambda < mu (a stable queue) and throw
+/// std::invalid_argument otherwise (except mm1_utilization, which only
+/// needs positive rates).
+
+/// ρ = λ/µ.
+double mm1_utilization(double lambda, double mu);
+
+/// Expected number in system (queue + server): ρ/(1−ρ).
+double mm1_mean_occupancy(double lambda, double mu);
+
+/// Stationary occupancy PMF: P{N = n} = (1−ρ)ρⁿ.
+double mm1_occupancy_pmf(double lambda, double mu, std::uint64_t n);
+
+/// Mean sojourn (waiting + service) time: 1/(µ−λ). This is the mean
+/// privacy delay an order-preserving FIFO node imposes.
+double mm1_mean_sojourn(double lambda, double mu);
+
+/// Sojourn-time variance: 1/(µ−λ)² (the sojourn time is exponential).
+/// Note how it *diverges* as λ→µ: the FIFO strategy buys its delay
+/// variance with queueing instability, unlike the M/M/∞ independent-delay
+/// scheme whose variance is load-independent.
+double mm1_sojourn_variance(double lambda, double mu);
+
+/// Mean waiting time before service starts: ρ/(µ−λ).
+double mm1_mean_wait(double lambda, double mu);
+
+}  // namespace tempriv::queueing

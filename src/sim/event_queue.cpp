@@ -1,0 +1,63 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace tempriv::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> action) {
+  const EventId id(next_seq_);
+  heap_.push(HeapEntry{at, next_seq_, id});
+  actions_.emplace(next_seq_, std::move(action));
+  ++next_seq_;
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto it = actions_.find(id.value());
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id.value());
+  --live_count_;
+  drop_leading_tombstones();
+  return true;
+}
+
+void EventQueue::drop_leading_tombstones() {
+  while (!heap_.empty()) {
+    const auto tomb = cancelled_.find(heap_.top().id.value());
+    if (tomb == cancelled_.end()) break;
+    cancelled_.erase(tomb);
+    heap_.pop();
+  }
+}
+
+std::optional<EventQueue::Event> EventQueue::pop() {
+  drop_leading_tombstones();
+  if (heap_.empty()) return std::nullopt;
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id.value());
+  Event event{top.at, top.id, std::move(it->second)};
+  actions_.erase(it);
+  --live_count_;
+  // The new head may be a tombstone left by an earlier mid-heap cancel;
+  // sweep now so next_time() never reports a cancelled event.
+  drop_leading_tombstones();
+  return event;
+}
+
+Time EventQueue::next_time() const {
+  // drop_leading_tombstones() runs on every cancel, so the top is live.
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  cancelled_.clear();
+  actions_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace tempriv::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tempriv::sim {
+
+/// Opaque handle to a scheduled event; used to cancel it later.
+/// Value 0 is reserved for "invalid".
+class EventId {
+ public:
+  constexpr EventId() noexcept = default;
+  constexpr explicit EventId(std::uint64_t value) noexcept : value_(value) {}
+
+  constexpr bool valid() const noexcept { return value_ != 0; }
+  constexpr std::uint64_t value() const noexcept { return value_; }
+
+  friend constexpr bool operator==(EventId, EventId) noexcept = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Priority queue of timed callbacks with O(log n) insert/pop and O(1)
+/// amortized cancellation (lazy deletion: cancelled ids are tombstoned and
+/// skipped at pop time). Ties in time are broken by insertion order so runs
+/// are fully deterministic.
+class EventQueue {
+ public:
+  struct Event {
+    Time at = kTimeZero;
+    EventId id;
+    std::function<void()> action;
+  };
+
+  /// Inserts `action` to fire at time `at`. Returns a handle for cancel().
+  EventId schedule(Time at, std::function<void()> action);
+
+  /// Cancels a pending event. Returns true if the event was still pending
+  /// (it will not fire); false if it already fired, was already cancelled,
+  /// or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Removes and returns the earliest pending event, or nullopt if empty.
+  std::optional<Event> pop();
+
+  /// Time of the earliest pending event, or kTimeInfinity if empty.
+  Time next_time() const;
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t size() const noexcept { return live_count_; }
+  bool empty() const noexcept { return live_count_ == 0; }
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;  // insertion order; tie-breaker for determinism
+    EventId id;
+    // Greater-than so std::priority_queue acts as a min-heap.
+    bool operator>(const HeapEntry& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_leading_tombstones();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  // Actions are stored by id so cancel() can free the callback immediately.
+  std::unordered_map<std::uint64_t, std::function<void()>> actions_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace tempriv::sim

@@ -1,0 +1,57 @@
+#include "sim/rng.h"
+
+namespace tempriv::sim {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256pp::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Xoshiro256pp Xoshiro256pp::split(std::uint64_t stream_id) const noexcept {
+  // Mix the current state with the stream id through SplitMix64 to obtain a
+  // fresh seed, then jump far away so sequences cannot overlap in practice.
+  SplitMix64 sm(s_[0] ^ (s_[2] * 0x9e3779b97f4a7c15ULL) ^
+                (stream_id + 0x632be59bd9b4e019ULL) * 0xff51afd7ed558ccdULL);
+  Xoshiro256pp child(sm.next());
+  child.long_jump();
+  return child;
+}
+
+void Xoshiro256pp::long_jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+}  // namespace tempriv::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace tempriv::sim {
+
+/// Discrete-event simulation kernel: a virtual clock plus an event queue.
+///
+/// Components schedule callbacks at absolute or relative times; run() /
+/// run_until() advance the clock from event to event. Cancellation is first
+/// class because RCAD preemption must cancel the release event of the victim
+/// packet (see core/rcad_buffer.h).
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `at`.
+  /// Throws std::invalid_argument if `at` precedes the current time or is
+  /// not a finite number — both indicate a logic error in the caller.
+  EventId schedule_at(Time at, std::function<void()> action);
+
+  /// Schedules `action` after `delay` (>= 0, finite) time units.
+  EventId schedule_after(Duration delay, std::function<void()> action);
+
+  /// Cancels a pending event; see EventQueue::cancel.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue is empty or stop() is called.
+  /// Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs all events with timestamp <= deadline (or until stop()); the clock
+  /// then rests at min(deadline, time of last work). Returns events executed.
+  std::size_t run_until(Time deadline);
+
+  /// Executes exactly one event if any is pending. Returns whether one ran.
+  bool step();
+
+  /// Requests run()/run_until() to return after the current callback.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Time of the next pending event (kTimeInfinity if none).
+  Time next_event_time() const { return queue_.next_time(); }
+
+  /// Total events executed since construction.
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace tempriv::sim

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <limits>
+
+namespace tempriv::sim {
+
+/// Simulation time, measured in abstract "time units" (the paper's unit).
+/// The paper's evaluation uses a per-hop transmission delay of 1 time unit.
+using Time = double;
+
+/// A duration between two simulation instants (same unit as Time).
+using Duration = double;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Time zero, the start of every simulation run.
+inline constexpr Time kTimeZero = 0.0;
+
+}  // namespace tempriv::sim

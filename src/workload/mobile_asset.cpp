@@ -1,0 +1,93 @@
+#include "workload/mobile_asset.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tempriv::workload {
+
+MobileAssetWorkload::MobileAssetWorkload(net::Network& network,
+                                         const crypto::PayloadCodec& codec,
+                                         const Config& config,
+                                         sim::RandomStream rng)
+    : network_(network),
+      codec_(codec),
+      config_(config),
+      rng_(rng),
+      app_seq_(network.topology().node_count(), 0) {
+  if (config.field_side <= 0.0 || config.speed <= 0.0 ||
+      config.sense_interval <= 0.0 || config.duration <= 0.0) {
+    throw std::invalid_argument("MobileAssetWorkload: non-positive config value");
+  }
+  x_ = rng_.uniform(0.0, config_.field_side);
+  y_ = rng_.uniform(0.0, config_.field_side);
+  waypoint_x_ = rng_.uniform(0.0, config_.field_side);
+  waypoint_y_ = rng_.uniform(0.0, config_.field_side);
+}
+
+void MobileAssetWorkload::start() {
+  network_.simulator().schedule_after(config_.sense_interval, [this] { sense(); });
+}
+
+void MobileAssetWorkload::advance_to(double time) {
+  double remaining = (time - last_update_) * config_.speed;
+  last_update_ = time;
+  while (remaining > 0.0) {
+    const double dx = waypoint_x_ - x_;
+    const double dy = waypoint_y_ - y_;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    if (dist <= remaining) {
+      // Reached the waypoint; pick the next one and keep moving.
+      x_ = waypoint_x_;
+      y_ = waypoint_y_;
+      remaining -= dist;
+      waypoint_x_ = rng_.uniform(0.0, config_.field_side);
+      waypoint_y_ = rng_.uniform(0.0, config_.field_side);
+      if (dist == 0.0) break;  // degenerate waypoint on current position
+    } else {
+      x_ += dx / dist * remaining;
+      y_ += dy / dist * remaining;
+      remaining = 0.0;
+    }
+  }
+}
+
+net::NodeId MobileAssetWorkload::nearest_sensor(double x, double y) const {
+  const net::Topology& topo = network_.topology();
+  net::NodeId best = net::kInvalidNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (net::NodeId id = 0; id < topo.node_count(); ++id) {
+    if (id == topo.sink() || !network_.routing().reachable(id)) continue;
+    const net::Position& p = topo.position(id);
+    const double dx = p.x - x;
+    const double dy = p.y - y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = id;
+    }
+  }
+  return best;
+}
+
+void MobileAssetWorkload::sense() {
+  const double now = network_.simulator().now();
+  advance_to(now);
+  const net::NodeId sensor = nearest_sensor(x_, y_);
+  if (sensor != net::kInvalidNode) {
+    crypto::SensorPayload payload;
+    payload.reading = std::hypot(x_ - network_.topology().position(sensor).x,
+                                 y_ - network_.topology().position(sensor).y);
+    payload.app_seq = app_seq_[sensor]++;
+    payload.creation_time = now;
+    const std::uint64_t uid =
+        network_.originate(sensor, codec_.seal(payload, sensor));
+    track_.push_back({now, x_, y_, sensor, uid});
+  }
+  if (now + config_.sense_interval <= config_.duration) {
+    network_.simulator().schedule_after(config_.sense_interval,
+                                        [this] { sense(); });
+  }
+}
+
+}  // namespace tempriv::workload

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delay_buffer.h"
+#include "net/packet.h"
+
+namespace tempriv::workload {
+
+/// Which privacy scheme every node on the forwarding paths runs — the three
+/// situations of the paper's §5.3 plus the plain-dropping M/M/k/k variant.
+enum class Scheme {
+  kNoDelay,         ///< case 1: forward immediately
+  kUnlimitedDelay,  ///< case 2: Exp(1/µ) delays, unlimited buffers
+  kDropTail,        ///< §4: Exp(1/µ) delays, k slots, drop on overflow
+  kRcad,            ///< case 3: Exp(1/µ) delays, k slots, RCAD preemption
+};
+
+const char* to_string(Scheme scheme) noexcept;
+
+/// Which creation process drives the sources: the paper's periodic
+/// generators, the Poisson process its analysis assumes, or ON/OFF bursts
+/// at the same average rate (see workload/burst_source.h).
+enum class SourceKind {
+  kPeriodic,
+  kPoisson,
+  kBursty,
+};
+
+const char* to_string(SourceKind kind) noexcept;
+
+/// The paper's simulation setup (§5.2), parameterized for sweeps: the
+/// Figure-1 topology (four sources with hop counts 15/22/9/11 converging on
+/// a sink), periodic sources with inter-arrival 1/λ, per-hop transmission
+/// delay τ = 1, Exp(1/µ = 30) privacy delays and 10-slot (Mica-2-sized)
+/// buffers.
+struct PaperScenario {
+  double interarrival = 2.0;            ///< 1/λ, swept 2..20 in the paper
+  std::uint32_t packets_per_source = 1000;
+  double mean_delay = 30.0;             ///< 1/µ
+  std::size_t buffer_slots = 10;        ///< k
+  double hop_tx_delay = 1.0;            ///< τ
+  Scheme scheme = Scheme::kRcad;
+  core::VictimPolicy victim = core::VictimPolicy::kShortestRemaining;
+  double adaptive_threshold = 0.1;      ///< adversary's Erlang-loss threshold
+  std::uint64_t seed = 0x7e3970c1;
+  std::vector<std::uint16_t> hop_counts = {15, 22, 9, 11};
+  std::uint16_t shared_tail = 3;
+  /// §3.3 ablation: 0 = same mean delay at every node (the paper's setup),
+  /// 1 = mean delay linearly biased away from the sink, preserving the
+  /// expected end-to-end delay per flow.
+  double sink_weighting = 0.0;
+  /// Creation process; all kinds share the average rate 1/interarrival.
+  SourceKind source = SourceKind::kPeriodic;
+  /// Optional per-link MAC jitter (see net::NetworkConfig::hop_jitter);
+  /// the adversaries' known per-hop transmission delay becomes τ + jitter/2.
+  double hop_jitter = 0.0;
+};
+
+/// Everything the evaluation section reports, per flow and network-wide.
+struct FlowResult {
+  net::NodeId source = net::kInvalidNode;
+  std::uint16_t hops = 0;
+  std::uint64_t delivered = 0;
+  double mse_baseline = 0.0;    ///< Fig. 2(a) / Fig. 3 baseline-adversary MSE
+  double mse_adaptive = 0.0;    ///< Fig. 3 adaptive-adversary MSE
+  double mse_path_aware = 0.0;  ///< extension: per-node path-aware adversary
+  double mean_latency = 0.0;   ///< Fig. 2(b)
+  double max_latency = 0.0;
+};
+
+struct ScenarioResult {
+  std::vector<FlowResult> flows;  ///< in hop_counts order (S1 first)
+  std::uint64_t originated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t drops = 0;
+  double mean_latency_all = 0.0;
+  double sim_end_time = 0.0;
+};
+
+/// Builds the network, runs it to completion (all sources exhausted, all
+/// buffers drained), and scores both adversary models against ground truth.
+ScenarioResult run_paper_scenario(const PaperScenario& scenario);
+
+}  // namespace tempriv::workload

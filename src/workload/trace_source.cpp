@@ -1,0 +1,57 @@
+#include "workload/trace_source.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace tempriv::workload {
+
+TraceSource::TraceSource(net::Network& network,
+                         const crypto::PayloadCodec& codec, net::NodeId origin,
+                         sim::RandomStream rng,
+                         std::vector<double> creation_times)
+    : Source(network, codec, origin, rng),
+      creation_times_(std::move(creation_times)) {
+  double previous = 0.0;
+  for (const double t : creation_times_) {
+    if (t < previous) {
+      throw std::invalid_argument(
+          "TraceSource: creation times must be non-negative and sorted");
+    }
+    previous = t;
+  }
+}
+
+void TraceSource::start(double at) {
+  for (const double t : creation_times_) {
+    network().simulator().schedule_at(at + t, [this] { emit(); });
+  }
+}
+
+std::vector<double> load_trace_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  std::vector<double> times;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::string token = line.substr(first);
+    if (line_number == 1 && token.rfind("time", 0) == 0) continue;  // header
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(token, &consumed);
+      times.push_back(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("load_trace_csv: bad value at line " +
+                                  std::to_string(line_number));
+    }
+  }
+  return times;
+}
+
+}  // namespace tempriv::workload

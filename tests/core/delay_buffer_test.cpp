@@ -1,0 +1,166 @@
+#include "core/delay_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "test_context.h"
+
+namespace tempriv::core {
+namespace {
+
+using testing::TestContext;
+
+TEST(DelayBuffer, RequiresDistribution) {
+  EXPECT_THROW(DelayBuffer(nullptr), std::invalid_argument);
+}
+
+TEST(DelayBuffer, ReleasesAfterSampledDelay) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(4.0));
+  buffer.admit(ctx.make_packet(1), ctx);
+  EXPECT_EQ(buffer.size(), 1u);
+  ctx.simulator().run();
+  ASSERT_EQ(ctx.transmitted().size(), 1u);
+  EXPECT_DOUBLE_EQ(ctx.transmitted()[0].first, 4.0);
+  EXPECT_EQ(ctx.transmitted()[0].second.uid, 1u);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(DelayBuffer, HeldEntriesRecordReleaseTimes) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(10.0));
+  buffer.admit(ctx.make_packet(7), ctx);
+  ASSERT_EQ(buffer.held().size(), 1u);
+  EXPECT_DOUBLE_EQ(buffer.held()[0].enqueue_time, 0.0);
+  EXPECT_DOUBLE_EQ(buffer.held()[0].release_time, 10.0);
+  EXPECT_EQ(buffer.held()[0].packet.uid, 7u);
+}
+
+TEST(DelayBuffer, EjectCancelsScheduledRelease) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(4.0));
+  buffer.admit(ctx.make_packet(1), ctx);
+  const net::Packet packet = buffer.eject(0, ctx);
+  EXPECT_EQ(packet.uid, 1u);
+  EXPECT_EQ(buffer.size(), 0u);
+  ctx.simulator().run();
+  // The release event was cancelled: nothing transmits.
+  EXPECT_TRUE(ctx.transmitted().empty());
+}
+
+TEST(DelayBuffer, EjectValidatesIndex) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(1.0));
+  EXPECT_THROW(buffer.eject(0, ctx), std::out_of_range);
+}
+
+TEST(DelayBuffer, MultiplePacketsReleaseIndependently) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ExponentialDelay>(5.0));
+  for (std::uint64_t uid = 0; uid < 20; ++uid) {
+    buffer.admit(ctx.make_packet(uid), ctx);
+  }
+  EXPECT_EQ(buffer.size(), 20u);
+  ctx.simulator().run();
+  EXPECT_EQ(ctx.transmitted().size(), 20u);
+  EXPECT_EQ(buffer.size(), 0u);
+  // Releases are in time order (EventQueue contract).
+  for (std::size_t i = 1; i < ctx.transmitted().size(); ++i) {
+    EXPECT_GE(ctx.transmitted()[i].first, ctx.transmitted()[i - 1].first);
+  }
+}
+
+TEST(DelayBuffer, ExponentialDelaysCanReorderPackets) {
+  // §3.2: independent exponential delays do not preserve creation order —
+  // with enough packets at least one pair must swap.
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ExponentialDelay>(10.0));
+  for (std::uint64_t uid = 0; uid < 50; ++uid) {
+    buffer.admit(ctx.make_packet(uid), ctx);
+  }
+  ctx.simulator().run();
+  bool reordered = false;
+  for (std::size_t i = 1; i < ctx.transmitted().size(); ++i) {
+    if (ctx.transmitted()[i].second.uid <
+        ctx.transmitted()[i - 1].second.uid) {
+      reordered = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(SelectVictim, ShortestRemainingPicksClosestToDeparture) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ExponentialDelay>(10.0));
+  for (std::uint64_t uid = 0; uid < 5; ++uid) {
+    buffer.admit(ctx.make_packet(uid), ctx);
+  }
+  const std::size_t victim = select_victim(
+      buffer.held(), VictimPolicy::kShortestRemaining, 0.0, ctx.rng());
+  for (std::size_t i = 0; i < buffer.held().size(); ++i) {
+    EXPECT_LE(buffer.held()[victim].release_time, buffer.held()[i].release_time);
+  }
+}
+
+TEST(SelectVictim, LongestRemainingIsOpposite) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ExponentialDelay>(10.0));
+  for (std::uint64_t uid = 0; uid < 5; ++uid) {
+    buffer.admit(ctx.make_packet(uid), ctx);
+  }
+  const std::size_t victim = select_victim(
+      buffer.held(), VictimPolicy::kLongestRemaining, 0.0, ctx.rng());
+  for (std::size_t i = 0; i < buffer.held().size(); ++i) {
+    EXPECT_GE(buffer.held()[victim].release_time, buffer.held()[i].release_time);
+  }
+}
+
+TEST(SelectVictim, OldestPicksEarliestEnqueue) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(100.0));
+  buffer.admit(ctx.make_packet(0), ctx);
+  ctx.simulator().schedule_after(1.0, [&] {
+    buffer.admit(ctx.make_packet(1), ctx);
+  });
+  ctx.simulator().run_until(2.0);
+  const std::size_t victim =
+      select_victim(buffer.held(), VictimPolicy::kOldest, 2.0, ctx.rng());
+  EXPECT_EQ(buffer.held()[victim].packet.uid, 0u);
+}
+
+TEST(SelectVictim, RandomIsInRangeAndCoversBuffer) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ExponentialDelay>(10.0));
+  for (std::uint64_t uid = 0; uid < 4; ++uid) {
+    buffer.admit(ctx.make_packet(uid), ctx);
+  }
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t victim =
+        select_victim(buffer.held(), VictimPolicy::kRandom, 0.0, ctx.rng());
+    ASSERT_LT(victim, 4u);
+    seen.insert(victim);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(SelectVictim, RejectsEmptyBuffer) {
+  TestContext ctx;
+  EXPECT_THROW(
+      select_victim({}, VictimPolicy::kShortestRemaining, 0.0, ctx.rng()),
+      std::invalid_argument);
+}
+
+TEST(VictimPolicy, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(VictimPolicy::kShortestRemaining), "shortest-remaining");
+  EXPECT_STREQ(to_string(VictimPolicy::kLongestRemaining), "longest-remaining");
+  EXPECT_STREQ(to_string(VictimPolicy::kRandom), "random");
+  EXPECT_STREQ(to_string(VictimPolicy::kOldest), "oldest");
+}
+
+}  // namespace
+}  // namespace tempriv::core

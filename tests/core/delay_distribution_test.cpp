@@ -1,0 +1,112 @@
+#include "core/delay_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "infotheory/entropy.h"
+#include "metrics/stats.h"
+
+namespace tempriv::core {
+namespace {
+
+TEST(NoDelay, AlwaysZero) {
+  NoDelay dist;
+  sim::RandomStream rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(dist.sample(rng), 0.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+  EXPECT_EQ(dist.differential_entropy(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dist.name(), "none");
+}
+
+TEST(ConstantDelay, AlwaysTheConfiguredValue) {
+  ConstantDelay dist(7.5);
+  sim::RandomStream rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(dist.sample(rng), 7.5);
+  EXPECT_DOUBLE_EQ(dist.mean(), 7.5);
+  EXPECT_EQ(dist.differential_entropy(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_THROW(ConstantDelay(-1.0), std::invalid_argument);
+}
+
+TEST(UniformDelay, SamplesWithinBoundsWithCorrectMean) {
+  UniformDelay dist(10.0, 50.0);
+  sim::RandomStream rng(2);
+  metrics::StreamingStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = dist.sample(rng);
+    ASSERT_GE(d, 10.0);
+    ASSERT_LT(d, 50.0);
+    stats.add(d);
+  }
+  EXPECT_NEAR(stats.mean(), dist.mean(), 0.2);
+  EXPECT_NEAR(dist.differential_entropy(), std::log(40.0), 1e-12);
+  EXPECT_THROW(UniformDelay(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(UniformDelay(-1.0, 5.0), std::invalid_argument);
+}
+
+TEST(ExponentialDelay, MatchesConfiguredMean) {
+  ExponentialDelay dist(30.0);  // the paper's 1/mu
+  sim::RandomStream rng(3);
+  metrics::StreamingStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(dist.sample(rng));
+  EXPECT_NEAR(stats.mean(), 30.0, 0.5);
+  EXPECT_NEAR(dist.differential_entropy(),
+              infotheory::exponential_entropy(30.0), 1e-12);
+  EXPECT_THROW(ExponentialDelay(0.0), std::invalid_argument);
+}
+
+TEST(ParetoDelay, HeavyTailedWithFiniteMeanWhenAlphaAboveOne) {
+  ParetoDelay dist(10.0, 3.0);
+  sim::RandomStream rng(4);
+  metrics::StreamingStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double d = dist.sample(rng);
+    ASSERT_GE(d, 10.0);
+    stats.add(d);
+  }
+  EXPECT_NEAR(stats.mean(), dist.mean(), 0.3);
+  EXPECT_THROW(ParetoDelay(0.0, 2.0), std::invalid_argument);
+}
+
+TEST(ParetoDelay, InfiniteMeanWhenAlphaAtMostOne) {
+  ParetoDelay dist(1.0, 1.0);
+  EXPECT_TRUE(std::isinf(dist.mean()));
+}
+
+TEST(DelayDistribution, ExponentialMaximizesEntropyAtEqualMean) {
+  // §3's design insight, checked through the polymorphic interface.
+  const double mean = 30.0;
+  ExponentialDelay exponential(mean);
+  UniformDelay uniform(0.0, 2.0 * mean);
+  ConstantDelay constant(mean);
+  EXPECT_GT(exponential.differential_entropy(), uniform.differential_entropy());
+  EXPECT_GT(uniform.differential_entropy(), constant.differential_entropy());
+  EXPECT_DOUBLE_EQ(exponential.mean(), uniform.mean());
+}
+
+TEST(DelayDistribution, CloneIsIndependentAndEquivalent) {
+  ExponentialDelay original(12.0);
+  const auto clone = original.clone();
+  EXPECT_DOUBLE_EQ(clone->mean(), 12.0);
+  EXPECT_EQ(clone->name(), original.name());
+  // Clones draw identical values from identical streams.
+  sim::RandomStream rng1(9);
+  sim::RandomStream rng2(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(original.sample(rng1), clone->sample(rng2));
+  }
+}
+
+TEST(DelayDistribution, NamesIdentifyParameters) {
+  EXPECT_EQ(ExponentialDelay(30.0).name(), "exp(mean=30.00)");
+  EXPECT_EQ(ConstantDelay(5.0).name(), "constant(5.00)");
+  EXPECT_EQ(UniformDelay(0.0, 60.0).name(), "uniform(0.00,60.00)");
+  EXPECT_EQ(ParetoDelay(1.0, 2.0).name(), "pareto(xm=1.00,alpha=2.00)");
+}
+
+}  // namespace
+}  // namespace tempriv::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/forwarding.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace tempriv::core::testing {
+
+/// Minimal NodeContext for unit-testing disciplines without a Network:
+/// records every transmission with its simulation time.
+class TestContext final : public net::NodeContext {
+ public:
+  explicit TestContext(std::uint64_t seed = 42) : rng_(seed) {}
+
+  sim::Simulator& simulator() noexcept override { return sim_; }
+  sim::RandomStream& rng() noexcept override { return rng_; }
+  net::NodeId id() const noexcept override { return 3; }
+  std::uint16_t hops_to_sink() const noexcept override { return 5; }
+
+  void transmit(net::Packet&& packet) override {
+    transmitted_.emplace_back(sim_.now(), std::move(packet));
+  }
+
+  const std::vector<std::pair<double, net::Packet>>& transmitted() const {
+    return transmitted_;
+  }
+
+  net::Packet make_packet(std::uint64_t uid) const {
+    net::Packet packet;
+    packet.uid = uid;
+    packet.header.origin = 1;
+    return packet;
+  }
+
+ private:
+  sim::Simulator sim_;
+  sim::RandomStream rng_;
+  std::vector<std::pair<double, net::Packet>> transmitted_;
+};
+
+}  // namespace tempriv::core::testing

@@ -1,0 +1,93 @@
+#include "crypto/payload.h"
+
+#include <gtest/gtest.h>
+
+namespace tempriv::crypto {
+namespace {
+
+Speck64_128::Key master_key() {
+  Speck64_128::Key key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  return key;
+}
+
+TEST(PayloadCodec, SealOpenRoundTrip) {
+  PayloadCodec codec(master_key());
+  SensorPayload payload{21.5, 1234, 567.89};
+  const SealedPayload sealed = codec.seal(payload, /*origin_id=*/7);
+  const auto opened = codec.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST(PayloadCodec, CreationTimeIsNotVisibleInCiphertext) {
+  // The sealed bytes of two payloads differing only in creation time must
+  // differ, and neither may contain the raw little-endian timestamp.
+  PayloadCodec codec(master_key());
+  SensorPayload a{1.0, 5, 1000.0};
+  SensorPayload b{1.0, 5, 2000.0};
+  const SealedPayload sa = codec.seal(a, 3);
+  const SealedPayload sb = codec.seal(b, 3);
+  EXPECT_NE(sa.ciphertext, sb.ciphertext);
+}
+
+TEST(PayloadCodec, TamperedCiphertextFailsToOpen) {
+  PayloadCodec codec(master_key());
+  SealedPayload sealed = codec.seal({3.0, 9, 42.0}, 1);
+  sealed.ciphertext[0] ^= 0x01;
+  EXPECT_FALSE(codec.open(sealed).has_value());
+}
+
+TEST(PayloadCodec, TamperedTagFailsToOpen) {
+  PayloadCodec codec(master_key());
+  SealedPayload sealed = codec.seal({3.0, 9, 42.0}, 1);
+  sealed.tag ^= 0x1ULL;
+  EXPECT_FALSE(codec.open(sealed).has_value());
+}
+
+TEST(PayloadCodec, WrongLengthFailsToOpen) {
+  PayloadCodec codec(master_key());
+  SealedPayload sealed = codec.seal({3.0, 9, 42.0}, 1);
+  sealed.ciphertext.push_back(0);
+  EXPECT_FALSE(codec.open(sealed).has_value());
+}
+
+TEST(PayloadCodec, WrongKeyFailsToOpen) {
+  PayloadCodec codec(master_key());
+  Speck64_128::Key other = master_key();
+  other[0] ^= 0xFF;
+  PayloadCodec wrong(other);
+  const SealedPayload sealed = codec.seal({3.0, 9, 42.0}, 1);
+  EXPECT_FALSE(wrong.open(sealed).has_value());
+}
+
+TEST(PayloadCodec, NoncesDifferAcrossOriginsAndSequences) {
+  PayloadCodec codec(master_key());
+  const SealedPayload a = codec.seal({0.0, 1, 0.0}, 1);
+  const SealedPayload b = codec.seal({0.0, 2, 0.0}, 1);
+  const SealedPayload c = codec.seal({0.0, 1, 0.0}, 2);
+  EXPECT_NE(a.nonce, b.nonce);
+  EXPECT_NE(a.nonce, c.nonce);
+  EXPECT_NE(b.nonce, c.nonce);
+}
+
+TEST(PayloadCodec, IdenticalReadingsDifferentOriginsEncryptDifferently) {
+  PayloadCodec codec(master_key());
+  const SensorPayload payload{7.0, 0, 100.0};
+  const SealedPayload a = codec.seal(payload, 10);
+  const SealedPayload b = codec.seal(payload, 11);
+  EXPECT_NE(a.ciphertext, b.ciphertext);
+}
+
+TEST(PayloadCodec, HandlesExtremeValues) {
+  PayloadCodec codec(master_key());
+  SensorPayload payload{-1e300, 0xFFFFFFFF, 0.0};
+  const auto opened = codec.open(codec.seal(payload, 0xFFFFFFFF));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+}  // namespace
+}  // namespace tempriv::crypto

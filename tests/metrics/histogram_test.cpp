@@ -1,0 +1,119 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tempriv::metrics {
+namespace {
+
+TEST(Histogram, ValidatesConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  h.add(5.5);   // bin 5
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, TracksUnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.5);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, FrequencyAndDensityNormalize) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 3; ++i) h.add(0.5);
+  h.add(1.5);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.25);
+  // Density integrates to 1: sum(density * width) == 1.
+  EXPECT_DOUBLE_EQ(h.density(0) * h.bin_width() + h.density(1) * h.bin_width(),
+                   1.0);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 15.0);
+}
+
+TEST(IntegerHistogram, CountsAndGrows) {
+  IntegerHistogram h;
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 1u);
+  EXPECT_EQ(h.count(100), 0u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.max_value(), 7u);
+}
+
+TEST(IntegerHistogram, PmfAndMean) {
+  IntegerHistogram h;
+  for (int i = 0; i < 3; ++i) h.add(2);
+  h.add(6);
+  EXPECT_DOUBLE_EQ(h.pmf(2), 0.75);
+  EXPECT_DOUBLE_EQ(h.pmf(6), 0.25);
+  EXPECT_DOUBLE_EQ(h.mean(), (3 * 2 + 6) / 4.0);
+}
+
+TEST(IntegerHistogram, EmptyIsSafe) {
+  IntegerHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max_value(), 0u);
+}
+
+TEST(TimeWeightedOccupancy, WeighsByDuration) {
+  TimeWeightedOccupancy occ;
+  occ.record(0.0, 2);   // level 2 from t=0
+  occ.record(4.0, 5);   // level 2 held for 4
+  occ.record(6.0, 0);   // level 5 held for 2
+  occ.finish(10.0);     // level 0 held for 4
+  EXPECT_DOUBLE_EQ(occ.total_time(), 10.0);
+  EXPECT_DOUBLE_EQ(occ.fraction_at(2), 0.4);
+  EXPECT_DOUBLE_EQ(occ.fraction_at(5), 0.2);
+  EXPECT_DOUBLE_EQ(occ.fraction_at(0), 0.4);
+  EXPECT_DOUBLE_EQ(occ.mean_level(), (2 * 4 + 5 * 2 + 0 * 4) / 10.0);
+  EXPECT_EQ(occ.max_level(), 5u);
+}
+
+TEST(TimeWeightedOccupancy, EmptyWindowIsSafe) {
+  TimeWeightedOccupancy occ;
+  EXPECT_DOUBLE_EQ(occ.total_time(), 0.0);
+  EXPECT_DOUBLE_EQ(occ.fraction_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(occ.mean_level(), 0.0);
+}
+
+TEST(TimeWeightedOccupancy, RepeatedSameLevelAccumulates) {
+  TimeWeightedOccupancy occ;
+  occ.record(0.0, 1);
+  occ.record(2.0, 1);
+  occ.finish(5.0);
+  EXPECT_DOUBLE_EQ(occ.fraction_at(1), 1.0);
+}
+
+}  // namespace
+}  // namespace tempriv::metrics

@@ -1,0 +1,198 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/factories.h"
+#include "crypto/payload.h"
+
+namespace tempriv::net {
+namespace {
+
+crypto::PayloadCodec& test_codec() {
+  static crypto::PayloadCodec codec(crypto::Speck64_128::Key{
+      1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  return codec;
+}
+
+crypto::SealedPayload sealed_at(double creation, NodeId origin,
+                                std::uint32_t seq = 0) {
+  return test_codec().seal({1.0, seq, creation}, origin);
+}
+
+struct RecordingObserver final : SinkObserver {
+  struct Delivery {
+    Packet packet;
+    sim::Time arrival;
+  };
+  std::vector<Delivery> deliveries;
+  void on_delivery(const Packet& packet, sim::Time arrival) override {
+    deliveries.push_back({packet, arrival});
+  }
+};
+
+TEST(Network, ImmediateForwardingDeliversAtHopCountTimesTau) {
+  sim::Simulator sim;
+  const Topology topo = Topology::line(6);  // node 0 is 5 hops from the sink
+  Network net(sim, topo, core::immediate_factory(), {.hop_tx_delay = 1.0},
+              sim::RandomStream(1));
+  RecordingObserver observer;
+  net.add_sink_observer(&observer);
+  net.originate(0, sealed_at(0.0, 0));
+  sim.run();
+  ASSERT_EQ(observer.deliveries.size(), 1u);
+  EXPECT_DOUBLE_EQ(observer.deliveries[0].arrival, 5.0);
+  EXPECT_EQ(observer.deliveries[0].packet.header.hop_count, 5);
+  EXPECT_EQ(observer.deliveries[0].packet.header.origin, 0u);
+  EXPECT_EQ(observer.deliveries[0].packet.header.prev_hop, 4u);
+}
+
+TEST(Network, CustomTauScalesLatency) {
+  sim::Simulator sim;
+  const Topology topo = Topology::line(4);
+  Network net(sim, topo, core::immediate_factory(), {.hop_tx_delay = 2.5},
+              sim::RandomStream(1));
+  RecordingObserver observer;
+  net.add_sink_observer(&observer);
+  net.originate(0, sealed_at(0.0, 0));
+  sim.run();
+  ASSERT_EQ(observer.deliveries.size(), 1u);
+  EXPECT_DOUBLE_EQ(observer.deliveries[0].arrival, 3 * 2.5);
+}
+
+TEST(Network, RejectsNonPositiveTau) {
+  sim::Simulator sim;
+  EXPECT_THROW(Network(sim, Topology::line(2), core::immediate_factory(),
+                       {.hop_tx_delay = 0.0}, sim::RandomStream(1)),
+               std::invalid_argument);
+}
+
+TEST(Network, RejectsBadOrigins) {
+  sim::Simulator sim;
+  Topology topo = Topology::line(3);
+  const NodeId island = topo.add_node();
+  Network net(sim, topo, core::immediate_factory(), {}, sim::RandomStream(1));
+  EXPECT_THROW(net.originate(topo.sink(), sealed_at(0.0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(net.originate(island, sealed_at(0.0, island)),
+               std::invalid_argument);
+  EXPECT_THROW(net.originate(99, sealed_at(0.0, 99)), std::invalid_argument);
+}
+
+TEST(Network, PayloadArrivesIntactAndDecryptable) {
+  sim::Simulator sim;
+  Network net(sim, Topology::line(3), core::immediate_factory(), {},
+              sim::RandomStream(1));
+  RecordingObserver observer;
+  net.add_sink_observer(&observer);
+  net.originate(0, sealed_at(123.25, 0, 77));
+  sim.run();
+  ASSERT_EQ(observer.deliveries.size(), 1u);
+  const auto opened = test_codec().open(observer.deliveries[0].packet.payload);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_DOUBLE_EQ(opened->creation_time, 123.25);
+  EXPECT_EQ(opened->app_seq, 77u);
+}
+
+TEST(Network, MultipleObserversAllSeeEveryDelivery) {
+  sim::Simulator sim;
+  Network net(sim, Topology::line(3), core::immediate_factory(), {},
+              sim::RandomStream(1));
+  RecordingObserver a;
+  RecordingObserver b;
+  net.add_sink_observer(&a);
+  net.add_sink_observer(&b);
+  net.originate(0, sealed_at(0.0, 0));
+  net.originate(1, sealed_at(0.0, 1, 1));
+  sim.run();
+  EXPECT_EQ(a.deliveries.size(), 2u);
+  EXPECT_EQ(b.deliveries.size(), 2u);
+  EXPECT_THROW(net.add_sink_observer(nullptr), std::invalid_argument);
+}
+
+TEST(Network, UidsAreUniqueAndCountersTrack) {
+  sim::Simulator sim;
+  Network net(sim, Topology::line(4), core::immediate_factory(), {},
+              sim::RandomStream(1));
+  RecordingObserver observer;
+  net.add_sink_observer(&observer);
+  const std::uint64_t a = net.originate(0, sealed_at(0.0, 0, 0));
+  const std::uint64_t b = net.originate(0, sealed_at(0.0, 0, 1));
+  EXPECT_NE(a, b);
+  sim.run();
+  EXPECT_EQ(net.packets_originated(), 2u);
+  EXPECT_EQ(net.packets_delivered(), 2u);
+  EXPECT_NE(observer.deliveries[0].packet.uid, observer.deliveries[1].packet.uid);
+}
+
+TEST(Network, HopCountCountsActualPathNotTopologySize) {
+  sim::Simulator sim;
+  const auto built = Topology::converging_paths({7, 4}, 2);
+  Network net(sim, built.topology, core::immediate_factory(), {},
+              sim::RandomStream(1));
+  RecordingObserver observer;
+  net.add_sink_observer(&observer);
+  net.originate(built.sources[0], sealed_at(0.0, built.sources[0]));
+  net.originate(built.sources[1], sealed_at(0.0, built.sources[1]));
+  sim.run();
+  ASSERT_EQ(observer.deliveries.size(), 2u);
+  // Shorter path arrives first with tau = 1.
+  EXPECT_EQ(observer.deliveries[0].packet.header.hop_count, 4);
+  EXPECT_EQ(observer.deliveries[1].packet.header.hop_count, 7);
+}
+
+TEST(Network, OccupancyProbeFiresOnArrivalsAndTransmissions) {
+  sim::Simulator sim;
+  Network net(sim, Topology::line(3), core::immediate_factory(), {},
+              sim::RandomStream(1));
+  int probes = 0;
+  std::size_t max_seen = 0;
+  net.set_occupancy_probe([&](NodeId, sim::Time, std::size_t occ) {
+    ++probes;
+    max_seen = std::max(max_seen, occ);
+  });
+  net.originate(0, sealed_at(0.0, 0));
+  sim.run();
+  EXPECT_GT(probes, 0);
+  EXPECT_EQ(max_seen, 0u);  // immediate forwarding never buffers
+}
+
+TEST(Network, DisciplineAccessorExposesStats) {
+  sim::Simulator sim;
+  Network net(sim, Topology::line(3), core::immediate_factory(), {},
+              sim::RandomStream(1));
+  EXPECT_EQ(net.discipline(0).buffered(), 0u);
+  EXPECT_THROW(net.discipline(net.topology().sink()), std::out_of_range);
+  EXPECT_THROW(net.discipline(42), std::out_of_range);
+  EXPECT_EQ(net.total_buffered(), 0u);
+  EXPECT_EQ(net.total_preemptions(), 0u);
+  EXPECT_EQ(net.total_drops(), 0u);
+}
+
+TEST(Network, PacketsFromDifferentFlowsInterleaveCorrectly) {
+  sim::Simulator sim;
+  const auto built = Topology::converging_paths({5, 5}, 1);
+  Network net(sim, built.topology, core::immediate_factory(), {},
+              sim::RandomStream(1));
+  RecordingObserver observer;
+  net.add_sink_observer(&observer);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    sim.schedule_at(i * 2.0, [&net, &built, i] {
+      net.originate(built.sources[0], sealed_at(i * 2.0, built.sources[0], i));
+      net.originate(built.sources[1], sealed_at(i * 2.0, built.sources[1], i));
+    });
+  }
+  sim.run();
+  EXPECT_EQ(observer.deliveries.size(), 6u);
+  for (const auto& d : observer.deliveries) {
+    EXPECT_EQ(d.packet.header.hop_count, 5);
+    const auto opened = test_codec().open(d.packet.payload);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_DOUBLE_EQ(d.arrival - opened->creation_time, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace tempriv::net

@@ -1,0 +1,114 @@
+#include "queueing/dimensioning.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "queueing/erlang.h"
+
+namespace tempriv::queueing {
+namespace {
+
+TEST(AggregateRates, LineTopologyAccumulatesTowardSink) {
+  // 0 -> 1 -> 2 -> 3(sink); only node 0 sources traffic.
+  RoutingTree tree{{1, 2, 3, kNoParent}};
+  const auto rates = aggregate_rates(tree, {0.5, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 0.5);
+  EXPECT_DOUBLE_EQ(rates[3], 0.5);
+}
+
+TEST(AggregateRates, TreeSuperposesChildFlows) {
+  // Two leaves (0, 1) -> relay 2 -> sink 3; relay also sources traffic.
+  RoutingTree tree{{2, 2, 3, kNoParent}};
+  const auto rates = aggregate_rates(tree, {0.2, 0.3, 0.1, 0.0});
+  EXPECT_DOUBLE_EQ(rates[2], 0.2 + 0.3 + 0.1);
+  EXPECT_DOUBLE_EQ(rates[3], 0.6);
+}
+
+TEST(AggregateRates, PaperFigure1ShapedTree) {
+  // Four branches with a shared trunk: trunk nodes carry all four flows.
+  // Layout: sources 0..3 -> trunk 4 -> trunk 5 -> sink 6.
+  RoutingTree tree{{4, 4, 4, 4, 5, 6, kNoParent}};
+  const auto rates = aggregate_rates(tree, {0.5, 0.5, 0.5, 0.5, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(rates[4], 2.0);
+  EXPECT_DOUBLE_EQ(rates[5], 2.0);
+  EXPECT_DOUBLE_EQ(rates[6], 2.0);
+}
+
+TEST(AggregateRates, ValidatesInput) {
+  RoutingTree tree{{1, kNoParent}};
+  EXPECT_THROW(aggregate_rates(tree, {1.0}), std::invalid_argument);  // size
+  EXPECT_THROW(aggregate_rates(tree, {-1.0, 0.0}), std::invalid_argument);
+  RoutingTree cyclic{{1, 0}};
+  EXPECT_THROW(aggregate_rates(cyclic, {1.0, 0.0}), std::invalid_argument);
+  RoutingTree bad_parent{{5, kNoParent}};
+  EXPECT_THROW(aggregate_rates(bad_parent, {1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(DimensionMuForLoss, HitsTargetLossAtEveryNode) {
+  const std::vector<double> rates{0.5, 2.0, 0.0, 8.0};
+  const auto mus = dimension_mu_for_loss(rates, 10, 0.1);
+  ASSERT_EQ(mus.size(), rates.size());
+  EXPECT_DOUBLE_EQ(mus[2], 0.0);  // idle node delays nothing
+  for (std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_NEAR(erlang_loss(rates[i] / mus[i], 10), 0.1, 1e-8) << "node " << i;
+  }
+}
+
+TEST(DimensionMuForLoss, BusierNodesUseShorterDelays) {
+  const auto mus = dimension_mu_for_loss({0.5, 4.0}, 10, 0.1);
+  EXPECT_GT(1.0 / mus[0], 1.0 / mus[1]);  // mean delay shrinks with traffic
+}
+
+TEST(DecomposePathDelay, UniformSplit) {
+  const auto split = decompose_path_delay(90.0, 3, 0.0);
+  ASSERT_EQ(split.size(), 3u);
+  for (double d : split) EXPECT_DOUBLE_EQ(d, 30.0);
+}
+
+TEST(DecomposePathDelay, SinkWeightingShiftsDelayAwayFromSink) {
+  const auto split = decompose_path_delay(90.0, 3, 1.0);
+  ASSERT_EQ(split.size(), 3u);
+  // Element 0 is source-adjacent and must carry the most delay.
+  EXPECT_GT(split[0], split[1]);
+  EXPECT_GT(split[1], split[2]);
+  EXPECT_NEAR(split[0] + split[1] + split[2], 90.0, 1e-9);
+}
+
+TEST(DecomposePathDelay, AlwaysSumsToTotal) {
+  for (double weighting : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    for (std::size_t hops : {1u, 2u, 7u, 22u}) {
+      const auto split = decompose_path_delay(120.0, hops, weighting);
+      const double sum = std::accumulate(split.begin(), split.end(), 0.0);
+      EXPECT_NEAR(sum, 120.0, 1e-9) << weighting << " " << hops;
+    }
+  }
+}
+
+TEST(DecomposePathDelay, EdgeCases) {
+  EXPECT_TRUE(decompose_path_delay(10.0, 0, 0.5).empty());
+  EXPECT_THROW(decompose_path_delay(-1.0, 3, 0.0), std::invalid_argument);
+  EXPECT_THROW(decompose_path_delay(10.0, 3, 1.5), std::invalid_argument);
+  const auto single = decompose_path_delay(10.0, 1, 1.0);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 10.0);
+}
+
+TEST(ExpectedNetworkBuffering, SumsRho) {
+  // Σ λi/µi, the M/M/∞ expected total occupancy.
+  const double total = expected_network_buffering({1.0, 2.0, 0.0},
+                                                  {0.5, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(total, 1.0 / 0.5 + 2.0 / 1.0);
+}
+
+TEST(ExpectedNetworkBuffering, Validates) {
+  EXPECT_THROW(expected_network_buffering({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(expected_network_buffering({1.0}, {0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tempriv::queueing

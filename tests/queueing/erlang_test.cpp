@@ -1,0 +1,159 @@
+#include "queueing/erlang.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace tempriv::queueing {
+namespace {
+
+TEST(PoissonPmf, MatchesClosedFormSmallK) {
+  const double rho = 2.5;
+  EXPECT_NEAR(poisson_pmf(rho, 0), std::exp(-rho), 1e-12);
+  EXPECT_NEAR(poisson_pmf(rho, 1), rho * std::exp(-rho), 1e-12);
+  EXPECT_NEAR(poisson_pmf(rho, 2), rho * rho / 2.0 * std::exp(-rho), 1e-12);
+}
+
+TEST(PoissonPmf, SumsToOne) {
+  const double rho = 7.0;
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 100; ++k) sum += poisson_pmf(rho, k);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(PoissonPmf, ZeroRhoIsPointMass) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(0.0, 3), 0.0);
+}
+
+TEST(PoissonPmf, RejectsNegativeRho) {
+  EXPECT_THROW(poisson_pmf(-1.0, 0), std::invalid_argument);
+}
+
+TEST(PoissonCdf, MatchesPartialSums) {
+  const double rho = 4.2;
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= 10; ++k) {
+    sum += poisson_pmf(rho, k);
+    EXPECT_NEAR(poisson_cdf(rho, k), sum, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(ErlangLoss, ClosedFormForOneSlot) {
+  // E(ρ, 1) = ρ / (1 + ρ).
+  for (double rho : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(erlang_loss(rho, 1), rho / (1.0 + rho), 1e-12) << rho;
+  }
+}
+
+TEST(ErlangLoss, ClosedFormForTwoSlots) {
+  // E(ρ, 2) = (ρ²/2) / (1 + ρ + ρ²/2).
+  const double rho = 3.0;
+  const double expected = (rho * rho / 2.0) / (1.0 + rho + rho * rho / 2.0);
+  EXPECT_NEAR(erlang_loss(rho, 2), expected, 1e-12);
+}
+
+TEST(ErlangLoss, ZeroSlotsMeansCertainLoss) {
+  EXPECT_DOUBLE_EQ(erlang_loss(1.5, 0), 1.0);
+}
+
+TEST(ErlangLoss, ZeroTrafficMeansNoLoss) {
+  EXPECT_DOUBLE_EQ(erlang_loss(0.0, 5), 0.0);
+}
+
+TEST(ErlangLoss, MatchesDirectFormulaForModerateSizes) {
+  // Direct evaluation of Eq. (5) for comparison.
+  const double rho = 6.0;
+  const std::uint64_t k = 10;
+  double numerator = 1.0;
+  double denominator = 1.0;
+  double term = 1.0;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    term *= rho / static_cast<double>(i);
+    denominator += term;
+  }
+  numerator = term;
+  EXPECT_NEAR(erlang_loss(rho, k), numerator / denominator, 1e-12);
+}
+
+class ErlangMonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(ErlangMonotonicityTest, IncreasingInRhoDecreasingInK) {
+  const auto [rho, k] = GetParam();
+  // More offered traffic -> more loss.
+  EXPECT_LT(erlang_loss(rho, k), erlang_loss(rho * 1.5, k));
+  // More buffer slots -> less loss.
+  EXPECT_GT(erlang_loss(rho, k), erlang_loss(rho, k + 1));
+  // Always a probability.
+  EXPECT_GE(erlang_loss(rho, k), 0.0);
+  EXPECT_LE(erlang_loss(rho, k), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ErlangMonotonicityTest,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 5.0, 15.0, 60.0),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{5},
+                                         std::uint64_t{10}, std::uint64_t{40})));
+
+TEST(MmkkOccupancy, PmfIsTruncatedPoisson) {
+  const double rho = 3.0;
+  const std::uint64_t k = 5;
+  double sum = 0.0;
+  for (std::uint64_t n = 0; n <= k; ++n) sum += mmkk_occupancy_pmf(rho, k, n);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(mmkk_occupancy_pmf(rho, k, k + 1), 0.0);
+  // PASTA: the blocking probability equals P{N = k}.
+  EXPECT_NEAR(mmkk_occupancy_pmf(rho, k, k), erlang_loss(rho, k), 1e-10);
+}
+
+TEST(MmkkOccupancy, ExpectedOccupancyIsCarriedLoad) {
+  const double rho = 8.0;
+  const std::uint64_t k = 10;
+  // N̄ = ρ(1 − E(ρ,k)); cross-check against the PMF.
+  double direct = 0.0;
+  for (std::uint64_t n = 0; n <= k; ++n) {
+    direct += static_cast<double>(n) * mmkk_occupancy_pmf(rho, k, n);
+  }
+  EXPECT_NEAR(mmkk_expected_occupancy(rho, k), direct, 1e-9);
+}
+
+TEST(MaxRhoForLoss, InvertsErlangLoss) {
+  for (std::uint64_t k : {1u, 5u, 10u, 20u}) {
+    for (double alpha : {0.01, 0.1, 0.5}) {
+      const double rho = max_rho_for_loss(alpha, k);
+      EXPECT_NEAR(erlang_loss(rho, k), alpha, 1e-9)
+          << "k=" << k << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(MaxRhoForLoss, ValidatesTarget) {
+  EXPECT_THROW(max_rho_for_loss(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(max_rho_for_loss(1.0, 5), std::invalid_argument);
+}
+
+TEST(MuForTargetLoss, ScalesLinearlyWithLambda) {
+  // The paper's adaptive dimensioning: doubling λ doubles the required µ
+  // (the admissible ρ depends only on k and α).
+  const double mu1 = mu_for_target_loss(1.0, 10, 0.1);
+  const double mu2 = mu_for_target_loss(2.0, 10, 0.1);
+  EXPECT_NEAR(mu2, 2.0 * mu1, 1e-9);
+}
+
+TEST(MuForTargetLoss, HigherTrafficNeedsShorterDelays) {
+  // §4's punchline: as λ grows toward the sink, mean delay 1/µ must shrink
+  // to keep the drop rate at α.
+  const double low = 1.0 / mu_for_target_loss(0.5, 10, 0.05);
+  const double high = 1.0 / mu_for_target_loss(5.0, 10, 0.05);
+  EXPECT_GT(low, high);
+}
+
+TEST(MuForTargetLoss, RejectsNonPositiveLambda) {
+  EXPECT_THROW(mu_for_target_loss(0.0, 10, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tempriv::queueing

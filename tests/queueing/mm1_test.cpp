@@ -1,0 +1,91 @@
+#include "queueing/mm1.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/comparators.h"
+#include "metrics/histogram.h"
+#include "metrics/stats.h"
+#include "../core/test_context.h"
+
+namespace tempriv::queueing {
+namespace {
+
+TEST(Mm1, ClosedFormsAgree) {
+  const double lambda = 0.1;
+  const double mu = 0.25;
+  EXPECT_DOUBLE_EQ(mm1_utilization(lambda, mu), 0.4);
+  EXPECT_DOUBLE_EQ(mm1_mean_occupancy(lambda, mu), 0.4 / 0.6);
+  EXPECT_DOUBLE_EQ(mm1_mean_sojourn(lambda, mu), 1.0 / 0.15);
+  EXPECT_DOUBLE_EQ(mm1_sojourn_variance(lambda, mu),
+                   (1.0 / 0.15) * (1.0 / 0.15));
+  // Little's law: L = λ·W.
+  EXPECT_NEAR(mm1_mean_occupancy(lambda, mu),
+              lambda * mm1_mean_sojourn(lambda, mu), 1e-12);
+  // Wait = sojourn − service.
+  EXPECT_NEAR(mm1_mean_wait(lambda, mu),
+              mm1_mean_sojourn(lambda, mu) - 1.0 / mu, 1e-12);
+}
+
+TEST(Mm1, OccupancyPmfIsGeometricAndSumsToOne) {
+  const double lambda = 0.3;
+  const double mu = 0.5;
+  double sum = 0.0;
+  for (std::uint64_t n = 0; n < 200; ++n) {
+    sum += mm1_occupancy_pmf(lambda, mu, n);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(mm1_occupancy_pmf(lambda, mu, 0), 0.4);
+}
+
+TEST(Mm1, ValidatesStability) {
+  EXPECT_THROW(mm1_mean_occupancy(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(mm1_mean_sojourn(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(mm1_mean_wait(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(mm1_utilization(-1.0, 1.0), std::invalid_argument);
+  // Utilization itself is defined for unstable loads.
+  EXPECT_DOUBLE_EQ(mm1_utilization(2.0, 1.0), 2.0);
+}
+
+TEST(Mm1, FifoDelayingMatchesTheSojournLaw) {
+  // Simulation cross-check: FifoDelaying under Poisson(λ) arrivals is an
+  // M/M/1; its simulated sojourn mean and variance match the closed forms.
+  const double lambda = 0.12;
+  const double mean_service = 5.0;  // µ = 0.2
+  const double mu = 1.0 / mean_service;
+
+  core::testing::TestContext ctx(31);
+  core::FifoDelaying fifo(std::make_unique<core::ExponentialDelay>(mean_service));
+  constexpr int kPackets = 30000;
+  sim::RandomStream traffic(32);
+  std::vector<double> arrivals;
+  double at = 0.0;
+  for (int i = 0; i < kPackets; ++i) {
+    at += traffic.exponential_rate(lambda);
+    arrivals.push_back(at);
+    ctx.simulator().schedule_at(at, [&fifo, &ctx, i] {
+      fifo.on_packet(ctx.make_packet(static_cast<std::uint64_t>(i)), ctx);
+    });
+  }
+  ctx.simulator().run();
+
+  metrics::StreamingStats sojourn;
+  for (const auto& [departed, packet] : ctx.transmitted()) {
+    sojourn.add(departed - arrivals[packet.uid]);
+  }
+  const double expected_mean = mm1_mean_sojourn(lambda, mu);
+  const double expected_var = mm1_sojourn_variance(lambda, mu);
+  EXPECT_NEAR(sojourn.mean(), expected_mean, expected_mean * 0.05);
+  EXPECT_NEAR(sojourn.variance(), expected_var, expected_var * 0.12);
+}
+
+TEST(Mm1, SojournVarianceDivergesNearSaturation) {
+  // The header's design note: FIFO delay variance blows up as λ -> µ.
+  EXPECT_GT(mm1_sojourn_variance(0.99, 1.0),
+            100.0 * mm1_sojourn_variance(0.5, 1.0));
+}
+
+}  // namespace
+}  // namespace tempriv::queueing

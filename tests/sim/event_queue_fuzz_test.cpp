@@ -1,0 +1,79 @@
+// Model-based randomized test: the EventQueue against a trivially-correct
+// reference model (a sorted multimap), across thousands of interleaved
+// schedule/cancel/pop operations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace tempriv::sim {
+namespace {
+
+class EventQueueFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzzTest, MatchesReferenceModel) {
+  RandomStream rng(GetParam());
+  EventQueue queue;
+  // Reference: (time, insertion seq) -> id; mirrors the tie-break contract.
+  std::map<std::pair<double, std::uint64_t>, EventId> model;
+  std::uint64_t seq = 0;
+  std::vector<std::pair<std::pair<double, std::uint64_t>, EventId>> live;
+
+  for (int op = 0; op < 5000; ++op) {
+    const double dice = rng.uniform01();
+    if (dice < 0.5) {
+      // Schedule.
+      const double at = rng.uniform(0.0, 100.0);
+      const EventId id = queue.schedule(at, [] {});
+      model.emplace(std::make_pair(at, seq), id);
+      live.push_back({{at, seq}, id});
+      ++seq;
+    } else if (dice < 0.75 && !live.empty()) {
+      // Cancel a random live event.
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_index(live.size()));
+      const auto [key, id] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      ASSERT_TRUE(queue.cancel(id));
+      ASSERT_EQ(model.erase(key), 1u);
+      // Double-cancel must fail.
+      ASSERT_FALSE(queue.cancel(id));
+    } else if (!model.empty()) {
+      // Pop: must match the model's earliest (time, seq) entry.
+      const auto expected = model.begin();
+      ASSERT_DOUBLE_EQ(queue.next_time(), expected->first.first);
+      const auto event = queue.pop();
+      ASSERT_TRUE(event.has_value());
+      ASSERT_EQ(event->id, expected->second);
+      ASSERT_DOUBLE_EQ(event->at, expected->first.first);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].second == expected->second) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      model.erase(expected);
+    }
+    ASSERT_EQ(queue.size(), model.size());
+  }
+
+  // Drain: remaining events come out in exact model order.
+  while (!model.empty()) {
+    const auto expected = model.begin();
+    const auto event = queue.pop();
+    ASSERT_TRUE(event.has_value());
+    ASSERT_EQ(event->id, expected->second);
+    model.erase(expected);
+  }
+  ASSERT_FALSE(queue.pop().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+}  // namespace
+}  // namespace tempriv::sim

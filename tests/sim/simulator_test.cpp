@@ -1,0 +1,154 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tempriv::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.schedule_at(5.0, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(2.5, [&] { seen.push_back(sim.now()); });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(seen, (std::vector<double>{2.5, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 13.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, SchedulingAtCurrentTimeIsAllowed) {
+  Simulator sim;
+  bool nested_ran = false;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(5.0, [&] { nested_ran = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(nested_ran);
+}
+
+TEST(Simulator, NonFiniteTimesThrow) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(kTimeInfinity, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(std::nan(""), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_until(5.5), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);  // clock rests at the deadline
+  EXPECT_EQ(sim.pending_events(), 5u);
+  EXPECT_EQ(sim.run_until(100.0), 5u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // A fresh run() resumes with the remaining events.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsExecutedAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(static_cast<double>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NextEventTimeReflectsQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), kTimeInfinity);
+  sim.schedule_at(4.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), 4.0);
+}
+
+TEST(Simulator, CascadedEventsKeepVirtualTimeCausal) {
+  // Events scheduling events: time must be non-decreasing throughout.
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void(int)> chain = [&](int depth) {
+    times.push_back(sim.now());
+    if (depth > 0) {
+      sim.schedule_after(0.5, [&chain, depth] { chain(depth - 1); });
+    }
+  };
+  sim.schedule_at(1.0, [&] { chain(20); });
+  sim.run();
+  ASSERT_EQ(times.size(), 21u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace tempriv::sim

@@ -1,0 +1,186 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tempriv::workload {
+namespace {
+
+// Small packet counts keep these integration tests fast; the bench
+// harness runs the paper's full 1000-packet configuration.
+PaperScenario fast_scenario(Scheme scheme, double interarrival) {
+  PaperScenario scenario;
+  scenario.scheme = scheme;
+  scenario.interarrival = interarrival;
+  scenario.packets_per_source = 150;
+  return scenario;
+}
+
+TEST(PaperScenario, NoDelayDeliversEverythingAtHopLatency) {
+  const auto result = run_paper_scenario(fast_scenario(Scheme::kNoDelay, 5.0));
+  EXPECT_EQ(result.originated, 4u * 150u);
+  EXPECT_EQ(result.delivered, result.originated);
+  EXPECT_EQ(result.preemptions, 0u);
+  EXPECT_EQ(result.drops, 0u);
+  ASSERT_EQ(result.flows.size(), 4u);
+  // Latency is exactly hops * tau and MSE is (numerically) zero.
+  EXPECT_DOUBLE_EQ(result.flows[0].mean_latency, 15.0);
+  EXPECT_DOUBLE_EQ(result.flows[1].mean_latency, 22.0);
+  EXPECT_DOUBLE_EQ(result.flows[2].mean_latency, 9.0);
+  EXPECT_DOUBLE_EQ(result.flows[3].mean_latency, 11.0);
+  for (const auto& flow : result.flows) {
+    EXPECT_NEAR(flow.mse_baseline, 0.0, 1e-15);
+    EXPECT_EQ(flow.delivered, 150u);
+  }
+}
+
+TEST(PaperScenario, UnlimitedDelayLatencyMatchesTheory) {
+  const auto result =
+      run_paper_scenario(fast_scenario(Scheme::kUnlimitedDelay, 5.0));
+  EXPECT_EQ(result.delivered, result.originated);
+  EXPECT_EQ(result.preemptions, 0u);
+  // E[latency] = h(tau + 1/mu) = 15 * 31 = 465 for S1; allow sampling slack.
+  EXPECT_NEAR(result.flows[0].mean_latency, 465.0, 465.0 * 0.10);
+  // MSE ~ h / mu^2 = 15 * 900 = 13500 (variance of the summed delays).
+  EXPECT_NEAR(result.flows[0].mse_baseline, 13500.0, 13500.0 * 0.35);
+}
+
+TEST(PaperScenario, RcadDeliversEverythingDespiteFullBuffers) {
+  const auto result = run_paper_scenario(fast_scenario(Scheme::kRcad, 2.0));
+  EXPECT_EQ(result.delivered, result.originated);
+  EXPECT_EQ(result.drops, 0u);
+  EXPECT_GT(result.preemptions, 0u);
+}
+
+TEST(PaperScenario, DropTailLosesPacketsAtOverload) {
+  const auto result = run_paper_scenario(fast_scenario(Scheme::kDropTail, 2.0));
+  EXPECT_GT(result.drops, 0u);
+  EXPECT_EQ(result.preemptions, 0u);
+  EXPECT_LT(result.delivered, result.originated);
+}
+
+TEST(PaperScenario, Figure2aOrdering_RcadBeatsBothBaselinesAtHighRate) {
+  // The qualitative content of Fig. 2(a) at 1/lambda = 2: case 3 (RCAD)
+  // MSE dwarfs cases 1 and 2.
+  const auto no_delay = run_paper_scenario(fast_scenario(Scheme::kNoDelay, 2.0));
+  const auto unlimited =
+      run_paper_scenario(fast_scenario(Scheme::kUnlimitedDelay, 2.0));
+  const auto rcad = run_paper_scenario(fast_scenario(Scheme::kRcad, 2.0));
+  EXPECT_LT(no_delay.flows[0].mse_baseline, 1e-9);
+  EXPECT_GT(rcad.flows[0].mse_baseline, 2.0 * unlimited.flows[0].mse_baseline);
+}
+
+TEST(PaperScenario, Figure2bOrdering_LatencyNoDelayBelowRcadBelowUnlimited) {
+  const auto no_delay = run_paper_scenario(fast_scenario(Scheme::kNoDelay, 2.0));
+  const auto unlimited =
+      run_paper_scenario(fast_scenario(Scheme::kUnlimitedDelay, 2.0));
+  const auto rcad = run_paper_scenario(fast_scenario(Scheme::kRcad, 2.0));
+  EXPECT_LT(no_delay.flows[0].mean_latency, rcad.flows[0].mean_latency);
+  EXPECT_LT(rcad.flows[0].mean_latency, unlimited.flows[0].mean_latency);
+}
+
+TEST(PaperScenario, Figure3_AdaptiveAdversaryReducesButDoesNotEliminateError) {
+  // Needs enough packets for the adversary's windowed rate estimate to
+  // converge past the startup transient (the bench uses the paper's 1000).
+  auto scenario = fast_scenario(Scheme::kRcad, 2.0);
+  scenario.packets_per_source = 600;
+  const auto rcad = run_paper_scenario(scenario);
+  EXPECT_LT(rcad.flows[0].mse_adaptive, 0.7 * rcad.flows[0].mse_baseline);
+  EXPECT_GT(rcad.flows[0].mse_adaptive, 0.0);
+}
+
+TEST(PaperScenario, PreemptionsVanishAtLowTraffic) {
+  // At 1/lambda = 20 per flow the buffers barely fill (rho ~ 1.5 per branch
+  // node) and RCAD behaves like unlimited delaying.
+  const auto slow = run_paper_scenario(fast_scenario(Scheme::kRcad, 20.0));
+  const auto fast = run_paper_scenario(fast_scenario(Scheme::kRcad, 2.0));
+  EXPECT_LT(slow.preemptions, fast.preemptions / 5);
+}
+
+TEST(PaperScenario, DeterministicForFixedSeed) {
+  const auto a = run_paper_scenario(fast_scenario(Scheme::kRcad, 3.0));
+  const auto b = run_paper_scenario(fast_scenario(Scheme::kRcad, 3.0));
+  EXPECT_DOUBLE_EQ(a.flows[0].mse_baseline, b.flows[0].mse_baseline);
+  EXPECT_DOUBLE_EQ(a.flows[0].mean_latency, b.flows[0].mean_latency);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+TEST(PaperScenario, SeedChangesResultButNotShape) {
+  auto s1 = fast_scenario(Scheme::kRcad, 3.0);
+  auto s2 = fast_scenario(Scheme::kRcad, 3.0);
+  s2.seed = 999;
+  const auto a = run_paper_scenario(s1);
+  const auto b = run_paper_scenario(s2);
+  EXPECT_NE(a.flows[0].mse_baseline, b.flows[0].mse_baseline);
+  // Same order of magnitude though.
+  EXPECT_GT(b.flows[0].mse_baseline, a.flows[0].mse_baseline / 10.0);
+  EXPECT_LT(b.flows[0].mse_baseline, a.flows[0].mse_baseline * 10.0);
+}
+
+TEST(PaperScenario, SinkWeightedDecompositionRuns) {
+  auto scenario = fast_scenario(Scheme::kRcad, 5.0);
+  scenario.sink_weighting = 1.0;
+  const auto result = run_paper_scenario(scenario);
+  EXPECT_EQ(result.delivered, result.originated);
+  EXPECT_GT(result.flows[0].mean_latency, 15.0);
+}
+
+TEST(PaperScenario, SinkWeightingRejectsDropTail) {
+  auto scenario = fast_scenario(Scheme::kDropTail, 5.0);
+  scenario.sink_weighting = 0.5;
+  EXPECT_THROW(run_paper_scenario(scenario), std::invalid_argument);
+}
+
+TEST(PaperScenario, ValidatesConfig) {
+  auto bad_rate = fast_scenario(Scheme::kRcad, 0.0);
+  EXPECT_THROW(run_paper_scenario(bad_rate), std::invalid_argument);
+  auto no_flows = fast_scenario(Scheme::kRcad, 2.0);
+  no_flows.hop_counts.clear();
+  EXPECT_THROW(run_paper_scenario(no_flows), std::invalid_argument);
+}
+
+TEST(PaperScenario, PoissonSourcesMatchAnalyticLatency) {
+  auto scenario = fast_scenario(Scheme::kUnlimitedDelay, 5.0);
+  scenario.source = SourceKind::kPoisson;
+  scenario.packets_per_source = 400;
+  const auto result = run_paper_scenario(scenario);
+  EXPECT_EQ(result.delivered, result.originated);
+  EXPECT_NEAR(result.flows[0].mean_latency, 465.0, 465.0 * 0.10);
+}
+
+TEST(PaperScenario, BurstySourcesPreemptMoreAtEqualAverageRate) {
+  auto periodic = fast_scenario(Scheme::kRcad, 5.0);
+  periodic.packets_per_source = 400;
+  auto bursty = periodic;
+  bursty.source = SourceKind::kBursty;
+  const auto result_p = run_paper_scenario(periodic);
+  const auto result_b = run_paper_scenario(bursty);
+  EXPECT_EQ(result_b.delivered, result_b.originated);
+  EXPECT_GT(result_b.preemptions, result_p.preemptions);
+}
+
+TEST(PaperScenario, HopJitterGivesCaseOneASmallNonzeroMse) {
+  auto scenario = fast_scenario(Scheme::kNoDelay, 5.0);
+  scenario.hop_jitter = 0.5;  // adversary knows tau + jitter/2
+  const auto result = run_paper_scenario(scenario);
+  // h * jitter^2 / 12 = 15 * 0.25/12 ≈ 0.31 for S1.
+  EXPECT_GT(result.flows[0].mse_baseline, 0.1);
+  EXPECT_LT(result.flows[0].mse_baseline, 1.0);
+}
+
+TEST(SourceKindNames, AreHumanReadable) {
+  EXPECT_STREQ(to_string(SourceKind::kPeriodic), "periodic");
+  EXPECT_STREQ(to_string(SourceKind::kPoisson), "poisson");
+  EXPECT_STREQ(to_string(SourceKind::kBursty), "bursty");
+}
+
+TEST(SchemeNames, AreHumanReadable) {
+  EXPECT_STREQ(to_string(Scheme::kNoDelay), "no-delay");
+  EXPECT_STREQ(to_string(Scheme::kUnlimitedDelay), "delay+unlimited-buffers");
+  EXPECT_STREQ(to_string(Scheme::kDropTail), "delay+drop-tail");
+  EXPECT_STREQ(to_string(Scheme::kRcad), "delay+limited-buffers(RCAD)");
+}
+
+}  // namespace
+}  // namespace tempriv::workload
