@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adversary_models.dir/ablation_adversary_models.cpp.o"
+  "CMakeFiles/ablation_adversary_models.dir/ablation_adversary_models.cpp.o.d"
+  "ablation_adversary_models"
+  "ablation_adversary_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adversary_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_decomposition.dir/ablation_delay_decomposition.cpp.o"
+  "CMakeFiles/ablation_delay_decomposition.dir/ablation_delay_decomposition.cpp.o.d"
+  "ablation_delay_decomposition"
+  "ablation_delay_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topology_sharing.dir/ablation_topology_sharing.cpp.o"
+  "CMakeFiles/ablation_topology_sharing.dir/ablation_topology_sharing.cpp.o.d"
+  "ablation_topology_sharing"
+  "ablation_topology_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topology_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

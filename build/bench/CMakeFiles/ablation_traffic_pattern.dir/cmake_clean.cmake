@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_traffic_pattern.dir/ablation_traffic_pattern.cpp.o"
+  "CMakeFiles/ablation_traffic_pattern.dir/ablation_traffic_pattern.cpp.o.d"
+  "ablation_traffic_pattern"
+  "ablation_traffic_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_traffic_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

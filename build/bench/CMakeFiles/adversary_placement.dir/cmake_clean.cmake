@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_placement.dir/adversary_placement.cpp.o"
+  "CMakeFiles/adversary_placement.dir/adversary_placement.cpp.o.d"
+  "adversary_placement"
+  "adversary_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_rcad.dir/autotune_rcad.cpp.o"
+  "CMakeFiles/autotune_rcad.dir/autotune_rcad.cpp.o.d"
+  "autotune_rcad"
+  "autotune_rcad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_rcad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_vs_empirical_mi.dir/bound_vs_empirical_mi.cpp.o"
+  "CMakeFiles/bound_vs_empirical_mi.dir/bound_vs_empirical_mi.cpp.o.d"
+  "bound_vs_empirical_mi"
+  "bound_vs_empirical_mi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_vs_empirical_mi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

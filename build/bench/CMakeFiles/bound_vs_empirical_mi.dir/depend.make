@@ -1,0 +1,2 @@
+# Empty dependencies file for bound_vs_empirical_mi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_occupancy.dir/buffer_occupancy.cpp.o"
+  "CMakeFiles/buffer_occupancy.dir/buffer_occupancy.cpp.o.d"
+  "buffer_occupancy"
+  "buffer_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

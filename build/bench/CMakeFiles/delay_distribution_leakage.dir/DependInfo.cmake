@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/delay_distribution_leakage.cpp" "bench/CMakeFiles/delay_distribution_leakage.dir/delay_distribution_leakage.cpp.o" "gcc" "bench/CMakeFiles/delay_distribution_leakage.dir/delay_distribution_leakage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tempriv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tempriv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/infotheory/CMakeFiles/tempriv_infotheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/tempriv_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tempriv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/tempriv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tempriv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tempriv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tempriv_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_distribution_leakage.dir/delay_distribution_leakage.cpp.o"
+  "CMakeFiles/delay_distribution_leakage.dir/delay_distribution_leakage.cpp.o.d"
+  "delay_distribution_leakage"
+  "delay_distribution_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_distribution_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erlang_dimensioning.dir/erlang_dimensioning.cpp.o"
+  "CMakeFiles/erlang_dimensioning.dir/erlang_dimensioning.cpp.o.d"
+  "erlang_dimensioning"
+  "erlang_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erlang_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_mse.dir/fig2a_mse.cpp.o"
+  "CMakeFiles/fig2a_mse.dir/fig2a_mse.cpp.o.d"
+  "fig2a_mse"
+  "fig2a_mse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_mse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

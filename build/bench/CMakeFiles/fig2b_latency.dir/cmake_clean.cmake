@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_latency.dir/fig2b_latency.cpp.o"
+  "CMakeFiles/fig2b_latency.dir/fig2b_latency.cpp.o.d"
+  "fig2b_latency"
+  "fig2b_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_adaptive_adversary.dir/fig3_adaptive_adversary.cpp.o"
+  "CMakeFiles/fig3_adaptive_adversary.dir/fig3_adaptive_adversary.cpp.o.d"
+  "fig3_adaptive_adversary"
+  "fig3_adaptive_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_adaptive_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

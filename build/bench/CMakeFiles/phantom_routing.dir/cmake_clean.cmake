@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_routing.dir/phantom_routing.cpp.o"
+  "CMakeFiles/phantom_routing.dir/phantom_routing.cpp.o.d"
+  "phantom_routing"
+  "phantom_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

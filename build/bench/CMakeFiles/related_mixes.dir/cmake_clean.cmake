@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_mixes.dir/related_mixes.cpp.o"
+  "CMakeFiles/related_mixes.dir/related_mixes.cpp.o.d"
+  "related_mixes"
+  "related_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

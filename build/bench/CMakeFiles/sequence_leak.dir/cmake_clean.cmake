@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_leak.dir/sequence_leak.cpp.o"
+  "CMakeFiles/sequence_leak.dir/sequence_leak.cpp.o.d"
+  "sequence_leak"
+  "sequence_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_planning.dir/buffer_planning.cpp.o"
+  "CMakeFiles/buffer_planning.dir/buffer_planning.cpp.o.d"
+  "buffer_planning"
+  "buffer_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

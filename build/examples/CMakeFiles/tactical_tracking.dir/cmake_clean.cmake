@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactical_tracking.dir/tactical_tracking.cpp.o"
+  "CMakeFiles/tactical_tracking.dir/tactical_tracking.cpp.o.d"
+  "tactical_tracking"
+  "tactical_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactical_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/eavesdropper.cpp" "src/adversary/CMakeFiles/tempriv_adversary.dir/eavesdropper.cpp.o" "gcc" "src/adversary/CMakeFiles/tempriv_adversary.dir/eavesdropper.cpp.o.d"
+  "/root/repo/src/adversary/estimator.cpp" "src/adversary/CMakeFiles/tempriv_adversary.dir/estimator.cpp.o" "gcc" "src/adversary/CMakeFiles/tempriv_adversary.dir/estimator.cpp.o.d"
+  "/root/repo/src/adversary/ground_truth.cpp" "src/adversary/CMakeFiles/tempriv_adversary.dir/ground_truth.cpp.o" "gcc" "src/adversary/CMakeFiles/tempriv_adversary.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/adversary/path_aware.cpp" "src/adversary/CMakeFiles/tempriv_adversary.dir/path_aware.cpp.o" "gcc" "src/adversary/CMakeFiles/tempriv_adversary.dir/path_aware.cpp.o.d"
+  "/root/repo/src/adversary/sequence_leak.cpp" "src/adversary/CMakeFiles/tempriv_adversary.dir/sequence_leak.cpp.o" "gcc" "src/adversary/CMakeFiles/tempriv_adversary.dir/sequence_leak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tempriv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tempriv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tempriv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/tempriv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tempriv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

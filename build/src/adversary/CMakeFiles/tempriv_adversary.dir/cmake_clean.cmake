@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_adversary.dir/eavesdropper.cpp.o"
+  "CMakeFiles/tempriv_adversary.dir/eavesdropper.cpp.o.d"
+  "CMakeFiles/tempriv_adversary.dir/estimator.cpp.o"
+  "CMakeFiles/tempriv_adversary.dir/estimator.cpp.o.d"
+  "CMakeFiles/tempriv_adversary.dir/ground_truth.cpp.o"
+  "CMakeFiles/tempriv_adversary.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/tempriv_adversary.dir/path_aware.cpp.o"
+  "CMakeFiles/tempriv_adversary.dir/path_aware.cpp.o.d"
+  "CMakeFiles/tempriv_adversary.dir/sequence_leak.cpp.o"
+  "CMakeFiles/tempriv_adversary.dir/sequence_leak.cpp.o.d"
+  "libtempriv_adversary.a"
+  "libtempriv_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

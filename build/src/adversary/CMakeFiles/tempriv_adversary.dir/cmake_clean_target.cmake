@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtempriv_adversary.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparators.cpp" "src/core/CMakeFiles/tempriv_core.dir/comparators.cpp.o" "gcc" "src/core/CMakeFiles/tempriv_core.dir/comparators.cpp.o.d"
+  "/root/repo/src/core/delay_buffer.cpp" "src/core/CMakeFiles/tempriv_core.dir/delay_buffer.cpp.o" "gcc" "src/core/CMakeFiles/tempriv_core.dir/delay_buffer.cpp.o.d"
+  "/root/repo/src/core/delay_distribution.cpp" "src/core/CMakeFiles/tempriv_core.dir/delay_distribution.cpp.o" "gcc" "src/core/CMakeFiles/tempriv_core.dir/delay_distribution.cpp.o.d"
+  "/root/repo/src/core/disciplines.cpp" "src/core/CMakeFiles/tempriv_core.dir/disciplines.cpp.o" "gcc" "src/core/CMakeFiles/tempriv_core.dir/disciplines.cpp.o.d"
+  "/root/repo/src/core/erlang_tuned.cpp" "src/core/CMakeFiles/tempriv_core.dir/erlang_tuned.cpp.o" "gcc" "src/core/CMakeFiles/tempriv_core.dir/erlang_tuned.cpp.o.d"
+  "/root/repo/src/core/factories.cpp" "src/core/CMakeFiles/tempriv_core.dir/factories.cpp.o" "gcc" "src/core/CMakeFiles/tempriv_core.dir/factories.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tempriv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tempriv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/infotheory/CMakeFiles/tempriv_infotheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tempriv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/tempriv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tempriv_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_core.dir/comparators.cpp.o"
+  "CMakeFiles/tempriv_core.dir/comparators.cpp.o.d"
+  "CMakeFiles/tempriv_core.dir/delay_buffer.cpp.o"
+  "CMakeFiles/tempriv_core.dir/delay_buffer.cpp.o.d"
+  "CMakeFiles/tempriv_core.dir/delay_distribution.cpp.o"
+  "CMakeFiles/tempriv_core.dir/delay_distribution.cpp.o.d"
+  "CMakeFiles/tempriv_core.dir/disciplines.cpp.o"
+  "CMakeFiles/tempriv_core.dir/disciplines.cpp.o.d"
+  "CMakeFiles/tempriv_core.dir/erlang_tuned.cpp.o"
+  "CMakeFiles/tempriv_core.dir/erlang_tuned.cpp.o.d"
+  "CMakeFiles/tempriv_core.dir/factories.cpp.o"
+  "CMakeFiles/tempriv_core.dir/factories.cpp.o.d"
+  "libtempriv_core.a"
+  "libtempriv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

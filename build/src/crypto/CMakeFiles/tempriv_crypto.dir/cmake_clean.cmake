@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_crypto.dir/ctr.cpp.o"
+  "CMakeFiles/tempriv_crypto.dir/ctr.cpp.o.d"
+  "CMakeFiles/tempriv_crypto.dir/payload.cpp.o"
+  "CMakeFiles/tempriv_crypto.dir/payload.cpp.o.d"
+  "CMakeFiles/tempriv_crypto.dir/speck.cpp.o"
+  "CMakeFiles/tempriv_crypto.dir/speck.cpp.o.d"
+  "libtempriv_crypto.a"
+  "libtempriv_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

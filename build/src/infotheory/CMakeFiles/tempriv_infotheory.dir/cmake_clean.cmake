@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_infotheory.dir/entropy.cpp.o"
+  "CMakeFiles/tempriv_infotheory.dir/entropy.cpp.o.d"
+  "CMakeFiles/tempriv_infotheory.dir/estimators.cpp.o"
+  "CMakeFiles/tempriv_infotheory.dir/estimators.cpp.o.d"
+  "libtempriv_infotheory.a"
+  "libtempriv_infotheory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_infotheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

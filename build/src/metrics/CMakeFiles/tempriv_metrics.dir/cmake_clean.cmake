@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/tempriv_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/tempriv_metrics.dir/stats.cpp.o"
+  "CMakeFiles/tempriv_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/tempriv_metrics.dir/table.cpp.o"
+  "CMakeFiles/tempriv_metrics.dir/table.cpp.o.d"
+  "libtempriv_metrics.a"
+  "libtempriv_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_net.dir/network.cpp.o"
+  "CMakeFiles/tempriv_net.dir/network.cpp.o.d"
+  "CMakeFiles/tempriv_net.dir/phantom.cpp.o"
+  "CMakeFiles/tempriv_net.dir/phantom.cpp.o.d"
+  "CMakeFiles/tempriv_net.dir/routing.cpp.o"
+  "CMakeFiles/tempriv_net.dir/routing.cpp.o.d"
+  "CMakeFiles/tempriv_net.dir/topology.cpp.o"
+  "CMakeFiles/tempriv_net.dir/topology.cpp.o.d"
+  "CMakeFiles/tempriv_net.dir/tracer.cpp.o"
+  "CMakeFiles/tempriv_net.dir/tracer.cpp.o.d"
+  "libtempriv_net.a"
+  "libtempriv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_queueing.dir/dimensioning.cpp.o"
+  "CMakeFiles/tempriv_queueing.dir/dimensioning.cpp.o.d"
+  "CMakeFiles/tempriv_queueing.dir/erlang.cpp.o"
+  "CMakeFiles/tempriv_queueing.dir/erlang.cpp.o.d"
+  "CMakeFiles/tempriv_queueing.dir/mm1.cpp.o"
+  "CMakeFiles/tempriv_queueing.dir/mm1.cpp.o.d"
+  "libtempriv_queueing.a"
+  "libtempriv_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tempriv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tempriv_sim.dir/random.cpp.o"
+  "CMakeFiles/tempriv_sim.dir/random.cpp.o.d"
+  "CMakeFiles/tempriv_sim.dir/rng.cpp.o"
+  "CMakeFiles/tempriv_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/tempriv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tempriv_sim.dir/simulator.cpp.o.d"
+  "libtempriv_sim.a"
+  "libtempriv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempriv_workload.dir/burst_source.cpp.o"
+  "CMakeFiles/tempriv_workload.dir/burst_source.cpp.o.d"
+  "CMakeFiles/tempriv_workload.dir/mobile_asset.cpp.o"
+  "CMakeFiles/tempriv_workload.dir/mobile_asset.cpp.o.d"
+  "CMakeFiles/tempriv_workload.dir/scenario.cpp.o"
+  "CMakeFiles/tempriv_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/tempriv_workload.dir/source.cpp.o"
+  "CMakeFiles/tempriv_workload.dir/source.cpp.o.d"
+  "CMakeFiles/tempriv_workload.dir/trace_source.cpp.o"
+  "CMakeFiles/tempriv_workload.dir/trace_source.cpp.o.d"
+  "libtempriv_workload.a"
+  "libtempriv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempriv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

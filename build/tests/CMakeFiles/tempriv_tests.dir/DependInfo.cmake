@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adversary/eavesdropper_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/adversary/eavesdropper_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/adversary/eavesdropper_test.cpp.o.d"
+  "/root/repo/tests/adversary/estimator_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/adversary/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/adversary/estimator_test.cpp.o.d"
+  "/root/repo/tests/adversary/ground_truth_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/adversary/ground_truth_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/adversary/ground_truth_test.cpp.o.d"
+  "/root/repo/tests/adversary/path_aware_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/adversary/path_aware_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/adversary/path_aware_test.cpp.o.d"
+  "/root/repo/tests/adversary/sequence_leak_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/adversary/sequence_leak_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/adversary/sequence_leak_test.cpp.o.d"
+  "/root/repo/tests/core/comparators_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/core/comparators_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/core/comparators_test.cpp.o.d"
+  "/root/repo/tests/core/delay_buffer_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/core/delay_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/core/delay_buffer_test.cpp.o.d"
+  "/root/repo/tests/core/delay_distribution_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/core/delay_distribution_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/core/delay_distribution_test.cpp.o.d"
+  "/root/repo/tests/core/disciplines_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/core/disciplines_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/core/disciplines_test.cpp.o.d"
+  "/root/repo/tests/core/erlang_tuned_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/core/erlang_tuned_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/core/erlang_tuned_test.cpp.o.d"
+  "/root/repo/tests/core/rcad_property_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/core/rcad_property_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/core/rcad_property_test.cpp.o.d"
+  "/root/repo/tests/crypto/ctr_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/crypto/ctr_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/crypto/ctr_test.cpp.o.d"
+  "/root/repo/tests/crypto/payload_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/crypto/payload_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/crypto/payload_test.cpp.o.d"
+  "/root/repo/tests/crypto/speck_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/crypto/speck_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/crypto/speck_test.cpp.o.d"
+  "/root/repo/tests/infotheory/entropy_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/infotheory/entropy_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/infotheory/entropy_test.cpp.o.d"
+  "/root/repo/tests/infotheory/estimators_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/infotheory/estimators_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/infotheory/estimators_test.cpp.o.d"
+  "/root/repo/tests/integration/privacy_pipeline_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/integration/privacy_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/integration/privacy_pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/queueing_validation_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/integration/queueing_validation_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/integration/queueing_validation_test.cpp.o.d"
+  "/root/repo/tests/integration/robustness_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/integration/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/integration/robustness_test.cpp.o.d"
+  "/root/repo/tests/metrics/histogram_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/metrics/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/metrics/histogram_test.cpp.o.d"
+  "/root/repo/tests/metrics/stats_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/metrics/stats_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/metrics/stats_test.cpp.o.d"
+  "/root/repo/tests/metrics/table_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/metrics/table_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/metrics/table_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/phantom_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/net/phantom_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/net/phantom_test.cpp.o.d"
+  "/root/repo/tests/net/routing_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/net/routing_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/net/routing_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/net/topology_test.cpp.o.d"
+  "/root/repo/tests/net/tracer_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/net/tracer_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/net/tracer_test.cpp.o.d"
+  "/root/repo/tests/queueing/dimensioning_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/queueing/dimensioning_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/queueing/dimensioning_test.cpp.o.d"
+  "/root/repo/tests/queueing/erlang_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/queueing/erlang_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/queueing/erlang_test.cpp.o.d"
+  "/root/repo/tests/queueing/mm1_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/queueing/mm1_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/queueing/mm1_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_fuzz_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/sim/event_queue_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/sim/event_queue_fuzz_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/workload/burst_source_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/workload/burst_source_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/workload/burst_source_test.cpp.o.d"
+  "/root/repo/tests/workload/mobile_asset_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/workload/mobile_asset_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/workload/mobile_asset_test.cpp.o.d"
+  "/root/repo/tests/workload/scenario_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/workload/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/workload/scenario_test.cpp.o.d"
+  "/root/repo/tests/workload/source_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/workload/source_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/workload/source_test.cpp.o.d"
+  "/root/repo/tests/workload/trace_source_test.cpp" "tests/CMakeFiles/tempriv_tests.dir/workload/trace_source_test.cpp.o" "gcc" "tests/CMakeFiles/tempriv_tests.dir/workload/trace_source_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tempriv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tempriv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/infotheory/CMakeFiles/tempriv_infotheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/tempriv_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tempriv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/tempriv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tempriv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tempriv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tempriv_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
