@@ -6,33 +6,19 @@
 // Expected shape: small buffers preempt constantly (huge baseline-adversary
 // MSE, latency near the no-delay floor); large buffers approach the
 // unlimited-buffer case (latency -> h(τ+1/µ) = 465, MSE -> h/µ² ≈ 13.5k).
+//
+// The six k-points run as campaign jobs across all cores; deterministic
+// merge keeps the CSV byte-identical to the old serial loop.
 
 #include "bench_util.h"
-#include "metrics/table.h"
-#include "workload/scenario.h"
+#include "campaign/sweeps.h"
 
 int main() {
   using namespace tempriv;
-
-  metrics::Table table({"buffer slots k", "S1 MSE (baseline adv)",
-                        "S1 MSE (adaptive adv)", "S1 mean latency",
-                        "preemptions per packet"});
-
-  for (const std::size_t slots : {2u, 5u, 10u, 20u, 40u, 80u}) {
-    workload::PaperScenario scenario;
-    scenario.scheme = workload::Scheme::kRcad;
-    scenario.interarrival = 2.0;
-    scenario.buffer_slots = slots;
-    const auto result = run_paper_scenario(scenario);
-    const auto& s1 = result.flows.front();
-    table.add_numeric_row(
-        {static_cast<double>(slots), s1.mse_baseline, s1.mse_adaptive,
-         s1.mean_latency,
-         static_cast<double>(result.preemptions) /
-             static_cast<double>(result.originated)},
-        1);
-  }
-
-  bench::emit("ablation_buffer_size", table);
+  const campaign::Sweep sweep = campaign::buffer_size_sweep();
+  campaign::ProgressReporter progress(std::cerr, sweep.points.size());
+  const auto run = campaign::run_sweep(sweep, {.threads = 0, .progress = &progress});
+  progress.finish();
+  bench::emit(sweep.tag, run.table);
   return 0;
 }

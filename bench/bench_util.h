@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -8,16 +9,26 @@
 
 namespace tempriv::bench {
 
-/// Prints the table to stdout and saves it as bench_results/<tag>.csv so
+/// Directory CSVs are written to: $TEMPRIV_RESULTS_DIR if set and non-empty
+/// (so campaign and CI runs can redirect output), else the historical
+/// cwd-relative bench_results/.
+inline std::string results_dir() {
+  const char* env = std::getenv("TEMPRIV_RESULTS_DIR");
+  return (env != nullptr && *env != '\0') ? std::string(env) : "bench_results";
+}
+
+/// Prints the table to stdout and saves it as <results_dir>/<tag>.csv so
 /// every figure can be re-plotted from the emitted data.
 inline void emit(const std::string& tag, const metrics::Table& table) {
   std::cout << "\n== " << tag << " ==\n";
   table.print(std::cout);
+  const std::string dir = results_dir();
   std::error_code ec;
-  std::filesystem::create_directories("bench_results", ec);
+  std::filesystem::create_directories(dir, ec);
   if (!ec) {
-    table.save_csv("bench_results/" + tag + ".csv");
-    std::cout << "(csv: bench_results/" << tag << ".csv)\n";
+    const std::string path = dir + "/" + tag + ".csv";
+    table.save_csv(path);
+    std::cout << "(csv: " << path << ")\n";
   }
 }
 

@@ -10,31 +10,20 @@
 // Expected shape (paper): cases 1 and 2 are ~0 on the case-3 scale; case 3
 // is largest at the highest traffic rate (1/λ = 2) and decays as traffic
 // slows because preemptions become rare.
+//
+// The 30 scenario points run as campaign jobs across all cores; the merge
+// order is fixed by job index, so the CSV is byte-identical to the old
+// serial loop at the same seed regardless of the worker count.
 
 #include "bench_util.h"
-#include "metrics/table.h"
-#include "workload/scenario.h"
+#include "campaign/sweeps.h"
 
 int main() {
   using namespace tempriv;
-
-  metrics::Table table({"1/lambda", "NoDelay", "Delay&UnlimitedBuffers",
-                        "Delay&LimitedBuffers(RCAD)"});
-
-  for (double interarrival = 2.0; interarrival <= 20.0; interarrival += 2.0) {
-    std::vector<double> row{interarrival};
-    for (const workload::Scheme scheme :
-         {workload::Scheme::kNoDelay, workload::Scheme::kUnlimitedDelay,
-          workload::Scheme::kRcad}) {
-      workload::PaperScenario scenario;
-      scenario.interarrival = interarrival;
-      scenario.scheme = scheme;
-      const auto result = run_paper_scenario(scenario);
-      row.push_back(result.flows.front().mse_baseline);  // flow S1
-    }
-    table.add_numeric_row(row, 1);
-  }
-
-  bench::emit("fig2a_mse", table);
+  const campaign::Sweep sweep = campaign::fig2a_sweep();
+  campaign::ProgressReporter progress(std::cerr, sweep.points.size());
+  const auto run = campaign::run_sweep(sweep, {.threads = 0, .progress = &progress});
+  progress.finish();
+  bench::emit(sweep.tag, run.table);
   return 0;
 }

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+# This is the exact line ROADMAP.md designates as the merge gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j

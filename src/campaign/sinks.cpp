@@ -1,0 +1,85 @@
+#include "campaign/sinks.h"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace tempriv::campaign {
+
+std::string json_number(double value) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  return out.str();
+}
+
+void JsonlSink::consume(const JobResult& job) {
+  const workload::PaperScenario& s = job.spec.scenario;
+  const workload::ScenarioResult& r = job.result;
+  os_ << "{\"job\":" << job.spec.index << ",\"point\":" << job.spec.point
+      << ",\"replication\":" << job.spec.replication << ",\"seed\":" << s.seed
+      << ",\"scenario\":{\"interarrival\":" << json_number(s.interarrival)
+      << ",\"packets_per_source\":" << s.packets_per_source
+      << ",\"mean_delay\":" << json_number(s.mean_delay)
+      << ",\"buffer_slots\":" << s.buffer_slots
+      << ",\"hop_tx_delay\":" << json_number(s.hop_tx_delay)
+      << ",\"scheme\":\"" << workload::to_string(s.scheme)
+      << "\",\"source\":\"" << workload::to_string(s.source)
+      << "\"},\"result\":{\"originated\":" << r.originated
+      << ",\"delivered\":" << r.delivered
+      << ",\"preemptions\":" << r.preemptions << ",\"drops\":" << r.drops
+      << ",\"mean_latency_all\":" << json_number(r.mean_latency_all)
+      << ",\"sim_end_time\":" << json_number(r.sim_end_time)
+      << ",\"events_executed\":" << r.events_executed << ",\"flows\":[";
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    const workload::FlowResult& flow = r.flows[i];
+    if (i > 0) os_ << ",";
+    os_ << "{\"source\":" << flow.source << ",\"hops\":" << flow.hops
+        << ",\"delivered\":" << flow.delivered
+        << ",\"mse_baseline\":" << json_number(flow.mse_baseline)
+        << ",\"mse_adaptive\":" << json_number(flow.mse_adaptive)
+        << ",\"mse_path_aware\":" << json_number(flow.mse_path_aware)
+        << ",\"mean_latency\":" << json_number(flow.mean_latency)
+        << ",\"max_latency\":" << json_number(flow.max_latency) << "}";
+  }
+  os_ << "]}}\n";
+}
+
+CampaignStats::CampaignStats() : latency_hist(0.0, 1000.0, 100) {}
+
+void CampaignStats::add(const JobResult& job) {
+  const workload::ScenarioResult& r = job.result;
+  for (const workload::FlowResult& flow : r.flows) {
+    flow_latency.add(flow.mean_latency);
+    flow_mse_baseline.add(flow.mse_baseline);
+    latency_hist.add(flow.mean_latency);
+  }
+  if (r.originated > 0) {
+    preemptions_per_packet.add(static_cast<double>(r.preemptions) /
+                               static_cast<double>(r.originated));
+  }
+  ++jobs;
+  sim_events += r.events_executed;
+}
+
+void CampaignStats::merge(const CampaignStats& other) {
+  flow_latency.merge(other.flow_latency);
+  flow_mse_baseline.merge(other.flow_mse_baseline);
+  preemptions_per_packet.merge(other.preemptions_per_packet);
+  latency_hist.merge(other.latency_hist);
+  jobs += other.jobs;
+  sim_events += other.sim_events;
+}
+
+MergedStatsSink::MergedStatsSink(std::size_t points) : per_point_(points) {}
+
+void MergedStatsSink::consume(const JobResult& job) {
+  // Build the job's own accumulator, then merge — every job goes through the
+  // same merge path, so per-point and total stats are pure in-order folds.
+  CampaignStats one;
+  one.add(job);
+  total_.merge(one);
+  per_point_.at(job.spec.point).merge(one);
+}
+
+}  // namespace tempriv::campaign

@@ -1,0 +1,218 @@
+#include "campaign/sweeps.h"
+
+#include <stdexcept>
+
+namespace tempriv::campaign {
+
+namespace {
+
+// The three §5.3 schemes in every figure's column order.
+constexpr workload::Scheme kFigureSchemes[] = {
+    workload::Scheme::kNoDelay, workload::Scheme::kUnlimitedDelay,
+    workload::Scheme::kRcad};
+
+// The paper's sweep axis, 1/λ ∈ [2, 20] step 2, generated with the same
+// loop as the serial benches (the values are exact in binary, so the CSV
+// x-column matches byte for byte).
+std::vector<double> paper_interarrivals() {
+  std::vector<double> out;
+  for (double interarrival = 2.0; interarrival <= 20.0; interarrival += 2.0) {
+    out.push_back(interarrival);
+  }
+  return out;
+}
+
+// One scenario point per (interarrival, scheme), interarrival-major — the
+// serial benches' nesting order.
+std::vector<workload::PaperScenario> three_scheme_grid() {
+  std::vector<workload::PaperScenario> points;
+  for (const double interarrival : paper_interarrivals()) {
+    for (const workload::Scheme scheme : kFigureSchemes) {
+      workload::PaperScenario scenario;
+      scenario.interarrival = interarrival;
+      scenario.scheme = scheme;
+      points.push_back(scenario);
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+Sweep fig2a_sweep() {
+  Sweep sweep;
+  sweep.name = "fig2a";
+  sweep.tag = "fig2a_mse";
+  sweep.points = three_scheme_grid();
+  sweep.table = [](const std::vector<workload::ScenarioResult>& results) {
+    metrics::Table table({"1/lambda", "NoDelay", "Delay&UnlimitedBuffers",
+                          "Delay&LimitedBuffers(RCAD)"});
+    const std::vector<double> xs = paper_interarrivals();
+    for (std::size_t i = 0; i < results.size() / 3; ++i) {
+      std::vector<double> row{xs[i]};
+      for (std::size_t s = 0; s < 3; ++s) {
+        row.push_back(results.at(i * 3 + s).flows.front().mse_baseline);
+      }
+      table.add_numeric_row(row, 1);
+    }
+    return table;
+  };
+  return sweep;
+}
+
+Sweep fig2b_sweep() {
+  Sweep sweep;
+  sweep.name = "fig2b";
+  sweep.tag = "fig2b_latency";
+  sweep.points = three_scheme_grid();
+  sweep.table = [](const std::vector<workload::ScenarioResult>& results) {
+    metrics::Table table({"1/lambda", "NoDelay", "Delay&UnlimitedBuffers",
+                          "Delay&LimitedBuffers(RCAD)",
+                          "RCAD reduction vs unlimited"});
+    const std::vector<double> xs = paper_interarrivals();
+    for (std::size_t i = 0; i < results.size() / 3; ++i) {
+      std::vector<double> row{xs[i]};
+      for (std::size_t s = 0; s < 3; ++s) {
+        row.push_back(results.at(i * 3 + s).flows.front().mean_latency);
+      }
+      row.push_back(row[2] / row[3]);  // unlimited / RCAD latency ratio
+      table.add_numeric_row(row, 2);
+    }
+    return table;
+  };
+  return sweep;
+}
+
+Sweep fig3_sweep() {
+  Sweep sweep;
+  sweep.name = "fig3";
+  sweep.tag = "fig3_adaptive_adversary";
+  for (const double interarrival : paper_interarrivals()) {
+    workload::PaperScenario scenario;
+    scenario.interarrival = interarrival;
+    scenario.scheme = workload::Scheme::kRcad;
+    sweep.points.push_back(scenario);
+  }
+  sweep.table = [](const std::vector<workload::ScenarioResult>& results) {
+    metrics::Table table(
+        {"1/lambda", "BaselineAdversary", "AdaptiveAdversary", "reduction"});
+    const std::vector<double> xs = paper_interarrivals();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& s1 = results.at(i).flows.front();
+      table.add_numeric_row({xs[i], s1.mse_baseline, s1.mse_adaptive,
+                             s1.mse_adaptive > 0.0
+                                 ? s1.mse_baseline / s1.mse_adaptive
+                                 : 1.0},
+                            1);
+    }
+    return table;
+  };
+  return sweep;
+}
+
+Sweep buffer_size_sweep() {
+  Sweep sweep;
+  sweep.name = "buffer";
+  sweep.tag = "ablation_buffer_size";
+  const std::size_t slot_grid[] = {2, 5, 10, 20, 40, 80};
+  for (const std::size_t slots : slot_grid) {
+    workload::PaperScenario scenario;
+    scenario.scheme = workload::Scheme::kRcad;
+    scenario.interarrival = 2.0;
+    scenario.buffer_slots = slots;
+    sweep.points.push_back(scenario);
+  }
+  sweep.table = [](const std::vector<workload::ScenarioResult>& results) {
+    metrics::Table table({"buffer slots k", "S1 MSE (baseline adv)",
+                          "S1 MSE (adaptive adv)", "S1 mean latency",
+                          "preemptions per packet"});
+    const std::size_t slots[] = {2, 5, 10, 20, 40, 80};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& result = results[i];
+      const auto& s1 = result.flows.front();
+      table.add_numeric_row(
+          {static_cast<double>(slots[i]), s1.mse_baseline, s1.mse_adaptive,
+           s1.mean_latency,
+           static_cast<double>(result.preemptions) /
+               static_cast<double>(result.originated)},
+          1);
+    }
+    return table;
+  };
+  return sweep;
+}
+
+Sweep grid_sweep(const GridSpec& spec) {
+  if (spec.interarrivals.empty() || spec.buffer_slots.empty() ||
+      spec.schemes.empty()) {
+    throw std::invalid_argument("grid_sweep: empty axis");
+  }
+  Sweep sweep;
+  sweep.name = "grid";
+  sweep.tag = "campaign_grid";
+  for (const double interarrival : spec.interarrivals) {
+    for (const std::size_t slots : spec.buffer_slots) {
+      for (const workload::Scheme scheme : spec.schemes) {
+        workload::PaperScenario scenario = spec.base;
+        scenario.interarrival = interarrival;
+        scenario.buffer_slots = slots;
+        scenario.scheme = scheme;
+        sweep.points.push_back(scenario);
+      }
+    }
+  }
+  const std::vector<workload::PaperScenario> points = sweep.points;
+  sweep.table = [points](const std::vector<workload::ScenarioResult>& results) {
+    metrics::Table table({"1/lambda", "k", "scheme", "S1 MSE (baseline)",
+                          "S1 MSE (adaptive)", "S1 mean latency",
+                          "preempt/pkt", "drops/pkt"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& result = results[i];
+      const auto& s1 = result.flows.front();
+      const double originated =
+          result.originated > 0 ? static_cast<double>(result.originated) : 1.0;
+      table.add_row(
+          {metrics::format_number(points[i].interarrival, 1),
+           std::to_string(points[i].buffer_slots),
+           workload::to_string(points[i].scheme),
+           metrics::format_number(s1.mse_baseline, 1),
+           metrics::format_number(s1.mse_adaptive, 1),
+           metrics::format_number(s1.mean_latency, 2),
+           metrics::format_number(
+               static_cast<double>(result.preemptions) / originated, 3),
+           metrics::format_number(static_cast<double>(result.drops) / originated,
+                                  3)});
+    }
+    return table;
+  };
+  return sweep;
+}
+
+const std::vector<std::string>& named_sweeps() {
+  static const std::vector<std::string> names = {"fig2a", "fig2b", "fig3",
+                                                 "buffer"};
+  return names;
+}
+
+Sweep make_named_sweep(const std::string& name) {
+  if (name == "fig2a" || name == "fig2a_mse") return fig2a_sweep();
+  if (name == "fig2b" || name == "fig2b_latency") return fig2b_sweep();
+  if (name == "fig3" || name == "fig3_adaptive_adversary") return fig3_sweep();
+  if (name == "buffer" || name == "ablation_buffer_size") {
+    return buffer_size_sweep();
+  }
+  throw std::invalid_argument("unknown sweep: " + name);
+}
+
+SweepRun run_sweep(const Sweep& sweep, const RunnerOptions& options,
+                   std::uint32_t replications,
+                   const std::vector<ResultSink*>& sinks) {
+  CampaignRunner runner(options);
+  const std::vector<JobSpec> jobs =
+      CampaignRunner::expand(sweep.points, replications);
+  std::vector<JobResult> results = runner.run(jobs, sinks);
+  metrics::Table table = sweep.table(point_results(results));
+  return SweepRun{std::move(table), std::move(results)};
+}
+
+}  // namespace tempriv::campaign

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "metrics/table.h"
+#include "workload/scenario.h"
+
+namespace tempriv::campaign {
+
+/// A named parameter sweep: the scenario grid plus the recipe that folds the
+/// per-point results back into the figure's table. The `table` builder
+/// receives the replication-0 results in point order, so a campaign sweep
+/// emits exactly the CSV its serial bench/ counterpart does.
+struct Sweep {
+  std::string name;  ///< CLI name ("fig2a", "buffer", "grid")
+  std::string tag;   ///< CSV tag, matching the serial bench ("fig2a_mse")
+  std::vector<workload::PaperScenario> points;
+  std::function<metrics::Table(const std::vector<workload::ScenarioResult>&)>
+      table;
+};
+
+/// Figure 2(a): baseline-adversary MSE vs 1/λ for the three §5.3 schemes.
+Sweep fig2a_sweep();
+/// Figure 2(b): S1 delivery latency vs 1/λ for the three schemes.
+Sweep fig2b_sweep();
+/// Figure 3: baseline vs adaptive adversary under RCAD.
+Sweep fig3_sweep();
+/// Ablation B: the privacy/latency trade-off vs buffer size k at 1/λ = 2.
+Sweep buffer_size_sweep();
+
+/// Ad-hoc cross-product grid for the CLI: every combination of the listed
+/// interarrivals × buffer sizes × schemes on top of `base`, one table row
+/// per point.
+struct GridSpec {
+  std::vector<double> interarrivals = {2.0};
+  std::vector<std::size_t> buffer_slots = {10};
+  std::vector<workload::Scheme> schemes = {workload::Scheme::kRcad};
+  workload::PaperScenario base;  ///< remaining parameters (seed, packets, µ…)
+};
+Sweep grid_sweep(const GridSpec& spec);
+
+/// CLI names accepted by make_named_sweep, in display order.
+const std::vector<std::string>& named_sweeps();
+
+/// Resolves a CLI name ("fig2a", "fig2b", "fig3", "buffer"; CSV tags are
+/// accepted as aliases). Throws std::invalid_argument on unknown names.
+Sweep make_named_sweep(const std::string& name);
+
+/// Expands the sweep into jobs, runs them on the campaign engine, and builds
+/// the figure table from the replication-0 results. Extra sinks (JSONL,
+/// merged stats, …) ride along in deterministic order.
+struct SweepRun {
+  metrics::Table table;
+  std::vector<JobResult> jobs;
+};
+SweepRun run_sweep(const Sweep& sweep, const RunnerOptions& options,
+                   std::uint32_t replications = 1,
+                   const std::vector<ResultSink*>& sinks = {});
+
+}  // namespace tempriv::campaign

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tempriv::campaign {
+
+/// Fixed-size worker pool over a shared FIFO task queue. Simulation jobs are
+/// seconds-long and mutually independent, so a single locked queue (rather
+/// than per-worker deques with stealing) is contention-free in practice and
+/// keeps the completion order trivially irrelevant: determinism is the
+/// CampaignRunner's job, the pool only provides throughput.
+///
+/// Exceptions thrown by a task are captured into its future (via
+/// std::packaged_task); they never unwind a worker thread, so one faulty job
+/// cannot deadlock or tear down the pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 is clamped to hardware_concurrency().
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue — tasks already submitted run to completion — then
+  /// joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future yields its result or rethrows
+  /// its exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Picks the worker count for a `--jobs` style flag: `requested` if
+  /// positive, otherwise hardware_concurrency (minimum 1).
+  static std::size_t resolve_threads(std::size_t requested) noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace tempriv::campaign

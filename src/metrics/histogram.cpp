@@ -26,6 +26,17 @@ void Histogram::add(double x) noexcept {
   ++counts_[idx];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || width_ != other.width_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible binning");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::frequency(std::size_t i) const {
   const std::uint64_t in_range = total_ - underflow_ - overflow_;
   if (in_range == 0) return 0.0;
@@ -40,6 +51,16 @@ void IntegerHistogram::add(std::uint64_t value) {
   if (value >= counts_.size()) counts_.resize(value + 1, 0);
   ++counts_[value];
   ++total_;
+}
+
+void IntegerHistogram::merge(const IntegerHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 std::uint64_t IntegerHistogram::count(std::uint64_t value) const noexcept {

@@ -15,6 +15,12 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Combines another histogram accumulated with the same binning, the
+  /// parallel-reduction counterpart of StreamingStats::merge. Throws
+  /// std::invalid_argument if the binning (lo, width, bin count) differs —
+  /// counts from incompatible grids cannot be combined meaningfully.
+  void merge(const Histogram& other);
+
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
   std::uint64_t underflow() const noexcept { return underflow_; }
@@ -49,6 +55,10 @@ class Histogram {
 class IntegerHistogram {
  public:
   void add(std::uint64_t value);
+
+  /// Adds another accumulator's counts (always compatible: the domain ℕ is
+  /// shared and the storage grows on demand).
+  void merge(const IntegerHistogram& other);
 
   std::uint64_t count(std::uint64_t value) const noexcept;
   std::uint64_t total() const noexcept { return total_; }

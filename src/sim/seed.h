@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace tempriv::sim {
+
+/// Derives an independent 64-bit seed for substream `stream_id` of a root
+/// seed, the seed-level analogue of Xoshiro256pp::split(): replication r of
+/// a simulation seeded with `root` runs with derive_seed(root, r), and
+/// different (root, stream_id) pairs land in decorrelated SplitMix64
+/// sequences. Pure function of its arguments, so a parallel campaign can
+/// compute any job's seed without running the jobs before it.
+///
+/// The root is first diffused through one SplitMix64 step so that related
+/// roots (e.g. 1, 2, 3) do not produce related streams, then the stream id
+/// selects a distinct sequence via the Weyl increment.
+constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                    std::uint64_t stream_id) noexcept {
+  SplitMix64 diffuse(root);
+  SplitMix64 stream(diffuse.next() ^
+                    (stream_id * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  return stream.next();
+}
+
+}  // namespace tempriv::sim

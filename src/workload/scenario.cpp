@@ -167,6 +167,7 @@ ScenarioResult run_paper_scenario(const PaperScenario& scenario) {
   simulator.run();
 
   ScenarioResult result;
+  result.events_executed = simulator.events_executed();
   result.originated = network.packets_originated();
   result.delivered = network.packets_delivered();
   result.preemptions = network.total_preemptions();

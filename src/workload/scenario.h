@@ -78,6 +78,7 @@ struct ScenarioResult {
   std::uint64_t drops = 0;
   double mean_latency_all = 0.0;
   double sim_end_time = 0.0;
+  std::uint64_t events_executed = 0;  ///< simulator events (throughput metric)
 };
 
 /// Builds the network, runs it to completion (all sources exhausted, all

@@ -1,0 +1,142 @@
+#include "campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/sweeps.h"
+#include "sim/seed.h"
+
+namespace tempriv::campaign {
+namespace {
+
+// A small but non-trivial campaign: 3 traffic rates x 2 schemes, 2
+// replications each (12 jobs), shrunk to 80 packets per source so the whole
+// grid simulates in well under a second.
+std::vector<workload::PaperScenario> test_grid() {
+  std::vector<workload::PaperScenario> points;
+  for (const double interarrival : {2.0, 6.0, 12.0}) {
+    for (const workload::Scheme scheme :
+         {workload::Scheme::kRcad, workload::Scheme::kDropTail}) {
+      workload::PaperScenario scenario;
+      scenario.interarrival = interarrival;
+      scenario.scheme = scheme;
+      scenario.packets_per_source = 80;
+      points.push_back(scenario);
+    }
+  }
+  return points;
+}
+
+struct CampaignOutput {
+  std::string jsonl;
+  CampaignStats total;
+  std::vector<JobResult> results;
+};
+
+CampaignOutput run_with_threads(std::size_t threads) {
+  const std::vector<workload::PaperScenario> points = test_grid();
+  const std::vector<JobSpec> jobs = CampaignRunner::expand(points, 2);
+  std::ostringstream jsonl_stream;
+  JsonlSink jsonl(jsonl_stream);
+  MergedStatsSink stats(points.size());
+  CampaignRunner runner({.threads = threads, .progress = nullptr});
+  CampaignOutput out;
+  out.results = runner.run(jobs, {&jsonl, &stats});
+  out.jsonl = jsonl_stream.str();
+  out.total = stats.total();
+  return out;
+}
+
+void expect_identical(const CampaignOutput& a, const CampaignOutput& b) {
+  // Byte-identical JSONL log...
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  // ...and bit-identical merged statistics (the merge order is fixed by job
+  // index, so even floating-point rounding agrees).
+  EXPECT_EQ(a.total.jobs, b.total.jobs);
+  EXPECT_EQ(a.total.sim_events, b.total.sim_events);
+  EXPECT_EQ(a.total.flow_latency.mean(), b.total.flow_latency.mean());
+  EXPECT_EQ(a.total.flow_latency.variance(), b.total.flow_latency.variance());
+  EXPECT_EQ(a.total.flow_mse_baseline.mean(), b.total.flow_mse_baseline.mean());
+  EXPECT_EQ(a.total.flow_mse_baseline.variance(),
+            b.total.flow_mse_baseline.variance());
+  EXPECT_EQ(a.total.preemptions_per_packet.mean(),
+            b.total.preemptions_per_packet.mean());
+  ASSERT_EQ(a.total.latency_hist.bin_count(), b.total.latency_hist.bin_count());
+  for (std::size_t i = 0; i < a.total.latency_hist.bin_count(); ++i) {
+    EXPECT_EQ(a.total.latency_hist.bin(i), b.total.latency_hist.bin(i));
+  }
+}
+
+TEST(CampaignRunnerTest, SameOutputFor1And2And8Threads) {
+  const CampaignOutput serial = run_with_threads(1);
+  ASSERT_FALSE(serial.jsonl.empty());
+  EXPECT_EQ(serial.total.jobs, 12u);
+  expect_identical(serial, run_with_threads(2));
+  expect_identical(serial, run_with_threads(8));
+}
+
+TEST(CampaignRunnerTest, ResultsOrderedByJobIndex) {
+  const CampaignOutput out = run_with_threads(8);
+  ASSERT_EQ(out.results.size(), 12u);
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    EXPECT_EQ(out.results[i].spec.index, i);
+  }
+  // point-major, replication-minor expansion
+  EXPECT_EQ(out.results[3].spec.point, 1u);
+  EXPECT_EQ(out.results[3].spec.replication, 1u);
+}
+
+TEST(CampaignRunnerTest, ReplicationSeedsDeriveFromPointSeed) {
+  const std::vector<workload::PaperScenario> points = test_grid();
+  const std::vector<JobSpec> jobs = CampaignRunner::expand(points, 3);
+  ASSERT_EQ(jobs.size(), points.size() * 3);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    EXPECT_EQ(jobs[p * 3 + 0].scenario.seed, points[p].seed)
+        << "replication 0 must keep the serial seed";
+    EXPECT_EQ(jobs[p * 3 + 1].scenario.seed,
+              sim::derive_seed(points[p].seed, 1));
+    EXPECT_EQ(jobs[p * 3 + 2].scenario.seed,
+              sim::derive_seed(points[p].seed, 2));
+    EXPECT_NE(jobs[p * 3 + 1].scenario.seed, jobs[p * 3 + 2].scenario.seed);
+  }
+}
+
+TEST(CampaignRunnerTest, JobExceptionPropagatesWithoutHanging) {
+  workload::PaperScenario bad;
+  bad.interarrival = -1.0;  // run_paper_scenario rejects this
+  workload::PaperScenario good;
+  good.packets_per_source = 10;
+  const std::vector<JobSpec> jobs =
+      CampaignRunner::expand({good, bad, good}, 1);
+  CampaignRunner runner({.threads = 4, .progress = nullptr});
+  EXPECT_THROW(runner.run(jobs), std::invalid_argument);
+}
+
+TEST(CampaignRunnerTest, SweepTableMatchesDirectScenarioRuns) {
+  // The campaign path must compute exactly what a hand-rolled serial loop
+  // computes: compare a fig3-style table cell against run_paper_scenario.
+  Sweep sweep = fig3_sweep();
+  sweep.points.resize(2);
+  for (workload::PaperScenario& point : sweep.points) {
+    point.packets_per_source = 60;
+  }
+  const SweepRun run = run_sweep(sweep, {.threads = 4, .progress = nullptr});
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const workload::ScenarioResult direct =
+        workload::run_paper_scenario(sweep.points[i]);
+    EXPECT_EQ(run.jobs[i].result.flows.front().mse_baseline,
+              direct.flows.front().mse_baseline);
+    EXPECT_EQ(run.jobs[i].result.events_executed, direct.events_executed);
+  }
+}
+
+TEST(CampaignRunnerTest, ExpandRejectsZeroReplications) {
+  EXPECT_THROW(CampaignRunner::expand(test_grid(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tempriv::campaign

@@ -1,0 +1,75 @@
+#include "campaign/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace tempriv::campaign {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 1; i <= 100; ++i) {
+      futures.push_back(pool.submit([&sum, i] { sum += i; }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 21; });
+  auto b = pool.submit([] { return 2.0; });
+  EXPECT_EQ(a.get() * static_cast<int>(b.get()), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionInJobDoesNotDeadlockPool) {
+  std::atomic<int> completed{0};
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  // Tasks submitted after the throwing one still run to completion: the
+  // exception is captured in the future, not unwound through the worker.
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&completed] { ++completed; }));
+  }
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "pool deadlocked after a throwing job";
+    f.get();
+  }
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  // Destroying the pool while the queue still holds work must neither hang
+  // nor drop tasks: submitted work runs to completion before the join.
+  std::atomic<int> started{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&started] {
+        ++started;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      });
+    }
+  }
+  EXPECT_EQ(started.load(), 4);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsClampsZeroToHardware) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(8), 8u);
+  EXPECT_EQ(ThreadPool(3).thread_count(), 3u);
+}
+
+}  // namespace
+}  // namespace tempriv::campaign

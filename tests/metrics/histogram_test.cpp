@@ -55,6 +55,53 @@ TEST(Histogram, BinGeometry) {
   EXPECT_DOUBLE_EQ(h.bin_center(2), 15.0);
 }
 
+TEST(Histogram, MergeCombinesCountsAndOutOfRangeTallies) {
+  Histogram a(0.0, 10.0, 10);
+  a.add(0.5);
+  a.add(5.0);
+  a.add(-1.0);
+  Histogram b(0.0, 10.0, 10);
+  b.add(5.5);
+  b.add(11.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin(0), 1u);
+  EXPECT_EQ(a.bin(5), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+  // Merging an accumulator equals accumulating: same frequencies either way.
+  EXPECT_DOUBLE_EQ(a.frequency(5), 2.0 / 3.0);
+}
+
+TEST(Histogram, MergeRejectsIncompatibleBinning) {
+  Histogram a(0.0, 10.0, 10);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 11.0, 10)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 10)), std::invalid_argument);
+  EXPECT_NO_THROW(a.merge(Histogram(0.0, 10.0, 10)));
+}
+
+TEST(IntegerHistogram, MergeGrowsToCoverBothDomains) {
+  IntegerHistogram a;
+  a.add(1);
+  a.add(3);
+  IntegerHistogram b;
+  b.add(3);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.count(3), 2u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.max_value(), 9u);
+  // Merging into the larger side works too.
+  IntegerHistogram c;
+  c.add(0);
+  a.merge(c);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
 TEST(IntegerHistogram, CountsAndGrows) {
   IntegerHistogram h;
   h.add(0);

@@ -1,0 +1,206 @@
+// tempriv-campaign — run an experiment campaign (a named figure sweep or an
+// ad-hoc parameter grid) in parallel on the campaign engine.
+//
+//   tempriv-campaign fig2a --jobs 8
+//   tempriv-campaign buffer --reps 5 --jsonl buffer.jsonl
+//   tempriv-campaign grid --interarrival 2:20:2 --buffer-slots 5,10,20
+//       --scheme rcad,droptail --packets 500 --seed 42
+//
+// Scenario points × replications fan out across worker threads; results are
+// merged in job-index order, so every output (CSV, JSONL, summary stats) is
+// byte-identical whatever --jobs is. Named sweeps write the same CSV as
+// their serial bench/ counterpart at the default seed. Replication 0 of each
+// point keeps the scenario's own seed; replication r > 0 reseeds with
+// sim::derive_seed (see sim/seed.h).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "campaign/sweeps.h"
+
+namespace {
+
+using namespace tempriv;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: tempriv-campaign <sweep>|grid [options]\n"
+        "\n"
+        "sweeps: fig2a (adversary MSE), fig2b (latency), fig3 (adaptive\n"
+        "        adversary), buffer (buffer-size ablation)\n"
+        "\n"
+        "options:\n"
+        "  --jobs N             worker threads (default: hardware concurrency)\n"
+        "  --reps R             replications per scenario point (default 1)\n"
+        "  --seed S             base seed for every point (default: paper seed)\n"
+        "  --jsonl PATH         write the per-job JSONL result log here\n"
+        "                       (default: <results-dir>/<tag>.jsonl)\n"
+        "  --out DIR            results directory (default: $TEMPRIV_RESULTS_DIR\n"
+        "                       or bench_results/)\n"
+        "  --quiet              suppress the progress meter\n"
+        "\n"
+        "grid axes (comma lists or lo:hi:step ranges):\n"
+        "  --interarrival LIST  1/lambda values (default 2)\n"
+        "  --buffer-slots LIST  buffer sizes k (default 10)\n"
+        "  --scheme LIST        nodelay,unlimited,droptail,rcad (default rcad)\n"
+        "  --packets N          packets per source (default 1000)\n"
+        "  --mean-delay X       mean privacy delay 1/mu (default 30)\n";
+  return code;
+}
+
+std::vector<double> parse_axis(const std::string& text) {
+  std::vector<double> values;
+  if (text.find(':') != std::string::npos) {  // lo:hi:step range
+    double lo = 0.0, hi = 0.0, step = 0.0;
+    char c1 = 0, c2 = 0;
+    std::istringstream in(text);
+    if (!(in >> lo >> c1 >> hi >> c2 >> step) || c1 != ':' || c2 != ':' ||
+        step <= 0.0 || hi < lo) {
+      throw std::invalid_argument("bad range (want lo:hi:step): " + text);
+    }
+    for (double v = lo; v <= hi; v += step) values.push_back(v);
+    return values;
+  }
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) values.push_back(std::stod(item));
+  }
+  if (values.empty()) throw std::invalid_argument("empty axis: " + text);
+  return values;
+}
+
+workload::Scheme parse_scheme(const std::string& name) {
+  if (name == "nodelay") return workload::Scheme::kNoDelay;
+  if (name == "unlimited") return workload::Scheme::kUnlimitedDelay;
+  if (name == "droptail") return workload::Scheme::kDropTail;
+  if (name == "rcad") return workload::Scheme::kRcad;
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+std::vector<workload::Scheme> parse_schemes(const std::string& text) {
+  std::vector<workload::Scheme> schemes;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) schemes.push_back(parse_scheme(item));
+  }
+  if (schemes.empty()) throw std::invalid_argument("empty scheme list");
+  return schemes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string sweep_name = argv[1];
+  if (sweep_name == "--help" || sweep_name == "-h") return usage(std::cout, 0);
+
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::uint32_t reps = 1;
+  bool quiet = false;
+  bool seed_set = false;
+  std::uint64_t seed = 0;
+  std::string jsonl_path;
+  campaign::GridSpec grid;
+
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for " + arg);
+        }
+        return argv[++i];
+      };
+      if (arg == "--jobs") {
+        jobs = std::stoul(value());
+      } else if (arg == "--reps") {
+        reps = static_cast<std::uint32_t>(std::stoul(value()));
+        if (reps == 0) throw std::invalid_argument("--reps must be >= 1");
+      } else if (arg == "--seed") {
+        seed = std::stoull(value());
+        seed_set = true;
+      } else if (arg == "--jsonl") {
+        jsonl_path = value();
+      } else if (arg == "--out") {
+        setenv("TEMPRIV_RESULTS_DIR", value().c_str(), /*overwrite=*/1);
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--interarrival") {
+        grid.interarrivals = parse_axis(value());
+      } else if (arg == "--buffer-slots") {
+        grid.buffer_slots.clear();
+        for (const double v : parse_axis(value())) {
+          grid.buffer_slots.push_back(static_cast<std::size_t>(v));
+        }
+      } else if (arg == "--scheme") {
+        grid.schemes = parse_schemes(value());
+      } else if (arg == "--packets") {
+        grid.base.packets_per_source =
+            static_cast<std::uint32_t>(std::stoul(value()));
+      } else if (arg == "--mean-delay") {
+        grid.base.mean_delay = std::stod(value());
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        return usage(std::cerr, 2);
+      }
+    }
+
+    campaign::Sweep sweep = sweep_name == "grid"
+                                ? campaign::grid_sweep(grid)
+                                : campaign::make_named_sweep(sweep_name);
+    if (seed_set) {
+      for (workload::PaperScenario& point : sweep.points) point.seed = seed;
+    }
+
+    const std::size_t total_jobs = sweep.points.size() * reps;
+    campaign::ProgressReporter progress(std::cerr, total_jobs);
+    campaign::RunnerOptions options;
+    options.threads = jobs;
+    if (!quiet) options.progress = &progress;
+
+    if (jsonl_path.empty()) {
+      jsonl_path = bench::results_dir() + "/" + sweep.tag + ".jsonl";
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(jsonl_path).parent_path(), ec);
+    std::ofstream jsonl_file(jsonl_path);
+    if (!jsonl_file) {
+      std::cerr << "cannot open " << jsonl_path << " for writing\n";
+      return 1;
+    }
+    campaign::JsonlSink jsonl(jsonl_file);
+    campaign::MergedStatsSink stats(sweep.points.size());
+
+    const campaign::SweepRun run =
+        campaign::run_sweep(sweep, options, reps, {&jsonl, &stats});
+    if (!quiet) progress.finish();
+
+    bench::emit(sweep.tag, run.table);
+    std::cout << "(jsonl: " << jsonl_path << ")\n";
+    const campaign::CampaignStats& total = stats.total();
+    std::cout << "campaign: " << total.jobs << " jobs ("
+              << sweep.points.size() << " points x " << reps
+              << " reps), " << total.sim_events << " simulator events\n"
+              << "  flow mean latency: mean "
+              << metrics::format_number(total.flow_latency.mean(), 2)
+              << "  min " << metrics::format_number(total.flow_latency.min(), 2)
+              << "  max " << metrics::format_number(total.flow_latency.max(), 2)
+              << "\n  flow MSE (baseline adversary): mean "
+              << metrics::format_number(total.flow_mse_baseline.mean(), 1)
+              << "  stddev "
+              << metrics::format_number(total.flow_mse_baseline.stddev(), 1)
+              << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "tempriv-campaign: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
