@@ -4,13 +4,40 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "core/disciplines.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "workload/scenario.h"
+
+// Global allocation counter: the steady-state benchmarks report allocs/op so
+// the zero-allocation contract shows up in BENCH_engine.json, not just in
+// the unit test that asserts it.
+//
+// GCC flags malloc-backed replacement allocators as mismatched new/delete
+// pairs; the pairing is correct here since every path goes through these.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<std::int64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -48,6 +75,28 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  // Warm, pre-reserved queue: the per-event cost with the pool and heap at
+  // capacity, plus the allocations-per-event counter (contract: 0.0).
+  sim::RandomStream rng(4);
+  sim::EventQueue queue;
+  queue.reserve(1024);
+  for (int i = 0; i < 1024; ++i) queue.schedule(rng.uniform(0.0, 1000.0), [] {});
+  for (int i = 0; i < 512; ++i) queue.pop();
+  const std::int64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    queue.schedule(queue.next_time() + rng.uniform(0.0, 10.0), [] {});
+    auto event = queue.pop();
+    benchmark::DoNotOptimize(event);
+  }
+  const std::int64_t allocs = g_allocs.load(std::memory_order_relaxed) -
+                              allocs_before;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState);
 
 void BM_RngExponential(benchmark::State& state) {
   sim::RandomStream rng(3);

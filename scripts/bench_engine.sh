@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Engine benchmark trajectory: runs the micro_engine suite (google-benchmark,
+# JSON aggregates) plus a timed fig2a campaign run, and writes BENCH_engine.json
+# at the repo root. When bench_results/bench_before.json (the pre-rewrite
+# baseline) is present, per-benchmark speedups are computed against its
+# medians. Schema: see "Engine benchmark trajectory" in EXPERIMENTS.md.
+#
+#   scripts/bench_engine.sh [build-dir]          # default: build
+#   BENCH_REPETITIONS=9 scripts/bench_engine.sh  # more repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+REPS=${BENCH_REPETITIONS:-5}
+BASELINE=bench_results/bench_before.json
+OUT=BENCH_engine.json
+
+cmake --build "$BUILD_DIR" --target micro_engine tempriv-campaign -j >/dev/null
+
+MICRO_JSON=$(mktemp)
+CAMPAIGN_DIR=$(mktemp -d)
+trap 'rm -rf "$MICRO_JSON" "$CAMPAIGN_DIR"' EXIT
+
+echo "== micro_engine ($REPS repetitions) =="
+"./$BUILD_DIR/bench/micro_engine" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$MICRO_JSON"
+
+echo "== timed fig2a campaign =="
+CAMPAIGN_START=$(date +%s.%N)
+"./$BUILD_DIR/tools/tempriv-campaign" fig2a --quiet --out "$CAMPAIGN_DIR"
+CAMPAIGN_END=$(date +%s.%N)
+
+python3 - "$MICRO_JSON" "$BASELINE" "$OUT" "$REPS" \
+  "$CAMPAIGN_START" "$CAMPAIGN_END" <<'PY'
+import json
+import sys
+import time
+
+micro_path, baseline_path, out_path, reps, t0, t1 = sys.argv[1:7]
+micro = json.load(open(micro_path))
+
+def medians(report):
+    """name -> {median_us, items_per_second?, allocs_per_op?} from a
+    google-benchmark JSON report (aggregates if present, else raw runs)."""
+    runs = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b["name"]).split("/repeats")[0]
+        entry = runs.setdefault(name, {"samples_us": []})
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[unit]
+        entry["samples_us"].append(b["real_time"] * scale)
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        if "allocs_per_op" in b:
+            entry["allocs_per_op"] = b["allocs_per_op"]
+    out = {}
+    for name, entry in runs.items():
+        samples = sorted(entry.pop("samples_us"))
+        entry["median_us"] = round(samples[len(samples) // 2], 3)
+        out[name] = entry
+    return out
+
+current = medians(micro)
+
+baseline = None
+speedup = {}
+try:
+    baseline = medians(json.load(open(baseline_path)))
+    for name, entry in current.items():
+        if name in baseline and entry["median_us"] > 0:
+            speedup[name] = round(
+                baseline[name]["median_us"] / entry["median_us"], 2)
+except OSError:
+    pass
+
+doc = {
+    "schema": "tempriv-bench-engine/1",
+    "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "repetitions": int(reps),
+    "context": micro.get("context", {}),
+    "benchmarks": current,
+    "campaign": {
+        "sweep": "fig2a",
+        "wall_seconds": round(float(t1) - float(t0), 3),
+    },
+}
+if baseline is not None:
+    doc["baseline"] = {
+        "source": baseline_path,
+        "benchmarks": {n: {"median_us": e["median_us"]}
+                       for n, e in baseline.items()},
+    }
+    doc["speedup_vs_baseline"] = speedup
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for name in sorted(current):
+    line = f"  {name}: {current[name]['median_us']} us"
+    if name in speedup:
+        line += f"  ({speedup[name]}x vs baseline)"
+    print(line)
+PY

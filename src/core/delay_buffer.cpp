@@ -1,13 +1,128 @@
 #include "core/delay_buffer.h"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace tempriv::core {
 
-DelayBuffer::DelayBuffer(std::unique_ptr<DelayDistribution> delay)
-    : delay_(std::move(delay)) {
+DelayBuffer::DelayBuffer(std::unique_ptr<DelayDistribution> delay,
+                         VictimPolicy policy)
+    : delay_(std::move(delay)), policy_(policy) {
   if (!delay_) throw std::invalid_argument("DelayBuffer: null delay distribution");
+}
+
+std::vector<DelayBuffer::Held> DelayBuffer::snapshot() const {
+  std::vector<Held> held;
+  held.reserve(live_count_);
+  for (std::uint32_t slot = head_; slot != kNilSlot; slot = slots_[slot].next) {
+    held.push_back(slots_[slot].held);
+  }
+  return held;
+}
+
+void DelayBuffer::reserve(std::size_t capacity) {
+  slots_.reserve(capacity);
+  if (uses_heap()) heap_.reserve(capacity);
+}
+
+std::uint32_t DelayBuffer::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    slots_[slot].live = true;
+    return slot;
+  }
+  slots_.emplace_back();
+  slots_.back().live = true;
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void DelayBuffer::link_back(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.prev = tail_;
+  s.next = kNilSlot;
+  if (tail_ != kNilSlot) {
+    slots_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+}
+
+void DelayBuffer::unlink(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  if (s.prev != kNilSlot) {
+    slots_[s.prev].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next != kNilSlot) {
+    slots_[s.next].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
+  s.prev = s.next = kNilSlot;
+}
+
+bool DelayBuffer::heap_precedes(std::uint32_t a, std::uint32_t b) const noexcept {
+  const Slot& sa = slots_[a];
+  const Slot& sb = slots_[b];
+  if (sa.held.release_time != sb.held.release_time) {
+    return policy_ == VictimPolicy::kLongestRemaining
+               ? sa.held.release_time > sb.held.release_time
+               : sa.held.release_time < sb.held.release_time;
+  }
+  return sa.admit_seq < sb.admit_seq;
+}
+
+void DelayBuffer::heap_push(std::uint32_t slot) {
+  heap_.push_back(slot);
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  heap_sift_up(slots_[slot].heap_pos);
+}
+
+void DelayBuffer::heap_sift_up(std::uint32_t pos) noexcept {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!heap_precedes(heap_[pos], heap_[parent])) break;
+    std::swap(heap_[pos], heap_[parent]);
+    slots_[heap_[pos]].heap_pos = pos;
+    slots_[heap_[parent]].heap_pos = parent;
+    pos = parent;
+  }
+}
+
+void DelayBuffer::heap_sift_down(std::uint32_t pos) noexcept {
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    const std::uint32_t left = 2 * pos + 1;
+    if (left >= n) break;
+    const std::uint32_t right = left + 1;
+    std::uint32_t best = left;
+    if (right < n && heap_precedes(heap_[right], heap_[left])) best = right;
+    if (!heap_precedes(heap_[best], heap_[pos])) break;
+    std::swap(heap_[pos], heap_[best]);
+    slots_[heap_[pos]].heap_pos = pos;
+    slots_[heap_[best]].heap_pos = best;
+    pos = best;
+  }
+}
+
+void DelayBuffer::heap_remove(std::uint32_t slot) noexcept {
+  const std::uint32_t pos = slots_[slot].heap_pos;
+  slots_[slot].heap_pos = kNilSlot;
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (pos != last) {
+    const std::uint32_t moved = heap_[last];
+    heap_[pos] = moved;
+    slots_[moved].heap_pos = pos;
+    heap_.pop_back();
+    heap_sift_up(pos);
+    heap_sift_down(slots_[moved].heap_pos);
+  } else {
+    heap_.pop_back();
+  }
 }
 
 void DelayBuffer::admit(net::Packet&& packet, net::NodeContext& ctx) {
@@ -21,30 +136,79 @@ void DelayBuffer::admit_with_delay(net::Packet&& packet, net::NodeContext& ctx,
   }
   const double now = ctx.simulator().now();
   const std::uint64_t uid = packet.uid;
-  Held held{std::move(packet), sim::EventId{}, now, now + delay};
-  held.release_event = ctx.simulator().schedule_after(
-      delay, [this, uid, &ctx] { release(uid, ctx); });
-  held_.push_back(std::move(held));
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.held.packet = std::move(packet);
+  s.held.enqueue_time = now;
+  s.held.release_time = now + delay;
+  s.admit_seq = next_admit_seq_++;
+  s.held.release_event = ctx.simulator().schedule_after(
+      delay, [this, slot, uid, &ctx] { release(slot, uid, ctx); });
+  link_back(slot);
+  if (uses_heap()) heap_push(slot);
+  ++live_count_;
 }
 
-net::Packet DelayBuffer::eject(std::size_t index, net::NodeContext& ctx) {
-  if (index >= held_.size()) {
-    throw std::out_of_range("DelayBuffer::eject: bad index");
+std::uint32_t DelayBuffer::victim_slot(sim::RandomStream& rng) const {
+  switch (policy_) {
+    case VictimPolicy::kShortestRemaining:
+    case VictimPolicy::kLongestRemaining:
+      return heap_.front();
+    case VictimPolicy::kOldest:
+      return head_;
+    case VictimPolicy::kRandom: {
+      // Same draw as the reference scan: a uniform index into the admission
+      // order, then a walk to that position.
+      std::size_t index = static_cast<std::size_t>(rng.uniform_index(live_count_));
+      std::uint32_t slot = head_;
+      while (index-- > 0) slot = slots_[slot].next;
+      return slot;
+    }
   }
-  ctx.simulator().cancel(held_[index].release_event);
-  net::Packet packet = std::move(held_[index].packet);
-  held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(index));
+  throw std::logic_error("DelayBuffer::victim_slot: unknown policy");
+}
+
+net::Packet DelayBuffer::extract(std::uint32_t slot, net::NodeContext& ctx) {
+  Slot& s = slots_[slot];
+  ctx.simulator().cancel(s.held.release_event);
+  net::Packet packet = std::move(s.held.packet);
+  unlink(slot);
+  if (s.heap_pos != kNilSlot) heap_remove(slot);
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_count_;
   return packet;
 }
 
-void DelayBuffer::release(std::uint64_t uid, net::NodeContext& ctx) {
-  const auto it = std::find_if(held_.begin(), held_.end(), [uid](const Held& h) {
-    return h.packet.uid == uid;
-  });
-  if (it == held_.end()) return;  // already ejected (defensive; cancel() should prevent this)
-  net::Packet packet = std::move(it->packet);
-  held_.erase(it);
-  ctx.transmit(std::move(packet));
+net::Packet DelayBuffer::preempt(net::NodeContext& ctx) {
+  if (live_count_ == 0) {
+    throw std::logic_error("DelayBuffer::preempt: empty buffer");
+  }
+  return extract(victim_slot(ctx.rng()), ctx);
+}
+
+net::Packet DelayBuffer::eject(std::size_t index, net::NodeContext& ctx) {
+  if (index >= live_count_) {
+    throw std::out_of_range("DelayBuffer::eject: bad index");
+  }
+  std::uint32_t slot = head_;
+  while (index-- > 0) slot = slots_[slot].next;
+  return extract(slot, ctx);
+}
+
+void DelayBuffer::release(std::uint32_t slot, std::uint64_t uid,
+                          net::NodeContext& ctx) {
+  // Defensive: eject()/preempt() cancel the release event, so a fired event
+  // whose slot was recycled (or freed) indicates a kernel bug — skip rather
+  // than transmit the wrong packet.
+  if (slot >= slots_.size() || !slots_[slot].live ||
+      slots_[slot].held.packet.uid != uid) {
+    return;
+  }
+  // extract() re-cancels the (already fired) release event; that cancel is a
+  // cheap no-op returning false.
+  ctx.transmit(extract(slot, ctx));
 }
 
 std::size_t select_victim(const std::vector<DelayBuffer::Held>& held,

@@ -9,10 +9,31 @@
 
 namespace tempriv::core {
 
+/// RCAD victim-selection rule (paper §5 uses shortest-remaining-delay; the
+/// alternatives exist for the ablation bench).
+enum class VictimPolicy {
+  kShortestRemaining,  ///< paper: closest to its natural departure
+  kLongestRemaining,   ///< adversarial ablation: most premature release
+  kRandom,             ///< uniformly random buffered packet
+  kOldest,             ///< earliest enqueue time (FIFO-style)
+};
+
+const char* to_string(VictimPolicy policy) noexcept;
+
 /// Shared machinery for the buffering disciplines: holds packets, schedules
 /// their future release through the simulation kernel, and supports
 /// cancelling a scheduled release so a packet can be ejected early (the
 /// RCAD preemption primitive).
+///
+/// Packets live in a free-listed slot pool threaded onto an intrusive
+/// admission-order list, plus — for the kShortestRemaining /
+/// kLongestRemaining policies — a position-tracked binary heap keyed on
+/// (release_time, admission order). preempt() is therefore O(log n) for the
+/// heap-indexed policies, O(1) for kOldest (the admission-list head), and a
+/// single RNG draw plus a list walk for kRandom — never the old O(n) scan +
+/// O(n) vector erase. Victim choice is bit-identical to a linear first-wins
+/// scan over the admission order (see select_victim, kept as the reference
+/// implementation), so simulation outputs are unchanged.
 class DelayBuffer {
  public:
   struct Held {
@@ -22,11 +43,21 @@ class DelayBuffer {
     double release_time = 0.0;
   };
 
-  explicit DelayBuffer(std::unique_ptr<DelayDistribution> delay);
+  explicit DelayBuffer(std::unique_ptr<DelayDistribution> delay,
+                       VictimPolicy policy = VictimPolicy::kShortestRemaining);
 
-  std::size_t size() const noexcept { return held_.size(); }
-  const std::vector<Held>& held() const noexcept { return held_; }
+  std::size_t size() const noexcept { return live_count_; }
   const DelayDistribution& delay_distribution() const noexcept { return *delay_; }
+  VictimPolicy victim_policy() const noexcept { return policy_; }
+
+  /// Copies the held packets in admission order (oldest first) — the same
+  /// order the pre-slot-pool vector kept. For tests and diagnostics; O(n).
+  std::vector<Held> snapshot() const;
+
+  /// Pre-sizes the slot pool (and the policy heap, if any) for `capacity`
+  /// concurrently-held packets, e.g. the M/M/k/k capacity k, so the steady
+  /// state never reallocates.
+  void reserve(std::size_t capacity);
 
   /// Draws a delay Y for the packet and schedules its transmission at
   /// now + Y. The packet leaves the buffer (and is transmitted via `ctx`)
@@ -39,32 +70,69 @@ class DelayBuffer {
   void admit_with_delay(net::Packet&& packet, net::NodeContext& ctx,
                         double delay);
 
-  /// Cancels the scheduled release of the buffered packet at `index` and
-  /// returns it to the caller (who decides what to do with it — RCAD
-  /// transmits it immediately). Throws std::out_of_range on a bad index.
+  /// Selects the victim under this buffer's policy, cancels its scheduled
+  /// release, and returns it to the caller (RCAD transmits it immediately).
+  /// O(log n) for the heap-indexed policies. Throws std::logic_error if the
+  /// buffer is empty.
+  net::Packet preempt(net::NodeContext& ctx);
+
+  /// Cancels the scheduled release of the packet at admission-order position
+  /// `index` (0 = oldest) and returns it. O(n) list walk; preempt() is the
+  /// hot-path primitive. Throws std::out_of_range on a bad index.
   net::Packet eject(std::size_t index, net::NodeContext& ctx);
 
  private:
-  void release(std::uint64_t uid, net::NodeContext& ctx);
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    Held held;
+    std::uint64_t admit_seq = 0;    // admission order; heap tie-breaker
+    std::uint32_t heap_pos = kNilSlot;
+    std::uint32_t prev = kNilSlot;  // admission-order list links
+    std::uint32_t next = kNilSlot;
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+
+  bool uses_heap() const noexcept {
+    return policy_ == VictimPolicy::kShortestRemaining ||
+           policy_ == VictimPolicy::kLongestRemaining;
+  }
+  /// Heap order: the policy's victim at the root, admission order (first
+  /// admitted wins) breaking release-time ties — exactly the element a
+  /// first-strict-win linear scan over admission order selects.
+  bool heap_precedes(std::uint32_t a, std::uint32_t b) const noexcept;
+
+  std::uint32_t acquire_slot();
+  void link_back(std::uint32_t slot) noexcept;
+  void unlink(std::uint32_t slot) noexcept;
+  void heap_push(std::uint32_t slot);
+  void heap_remove(std::uint32_t slot) noexcept;
+  void heap_sift_up(std::uint32_t pos) noexcept;
+  void heap_sift_down(std::uint32_t pos) noexcept;
+
+  std::uint32_t victim_slot(sim::RandomStream& rng) const;
+  /// Removes the packet in `slot` from every structure and returns it.
+  net::Packet extract(std::uint32_t slot, net::NodeContext& ctx);
+  void release(std::uint32_t slot, std::uint64_t uid, net::NodeContext& ctx);
 
   std::unique_ptr<DelayDistribution> delay_;
-  std::vector<Held> held_;
+  VictimPolicy policy_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  // slot indices; only for heap policies
+  std::uint32_t free_head_ = kNilSlot;
+  std::uint32_t head_ = kNilSlot;  // oldest admission
+  std::uint32_t tail_ = kNilSlot;  // newest admission
+  std::uint64_t next_admit_seq_ = 1;
+  std::size_t live_count_ = 0;
 };
 
-/// RCAD victim-selection rule (paper §5 uses shortest-remaining-delay; the
-/// alternatives exist for the ablation bench).
-enum class VictimPolicy {
-  kShortestRemaining,  ///< paper: closest to its natural departure
-  kLongestRemaining,   ///< adversarial ablation: most premature release
-  kRandom,             ///< uniformly random buffered packet
-  kOldest,             ///< earliest enqueue time (FIFO-style)
-};
-
-/// Index of the victim in `held` per `policy`. Requires non-empty `held`.
+/// Reference victim selection: index of the victim in `held` (admission
+/// order) per `policy`. Linear scan, first-wins on ties — the behavioral
+/// contract DelayBuffer::preempt's indexed selection must match; tests
+/// cross-check the two. Requires non-empty `held`.
 std::size_t select_victim(const std::vector<DelayBuffer::Held>& held,
                           VictimPolicy policy, double now,
                           sim::RandomStream& rng);
-
-const char* to_string(VictimPolicy policy) noexcept;
 
 }  // namespace tempriv::core

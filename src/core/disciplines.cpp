@@ -11,6 +11,7 @@ DropTailDelaying::DropTailDelaying(std::unique_ptr<DelayDistribution> delay,
   if (capacity == 0) {
     throw std::invalid_argument("DropTailDelaying: capacity must be >= 1");
   }
+  buffer_.reserve(capacity);
 }
 
 void DropTailDelaying::on_packet(net::Packet&& packet, net::NodeContext& ctx) {
@@ -23,17 +24,18 @@ void DropTailDelaying::on_packet(net::Packet&& packet, net::NodeContext& ctx) {
 
 RcadDiscipline::RcadDiscipline(std::unique_ptr<DelayDistribution> delay,
                                std::size_t capacity, VictimPolicy victim_policy)
-    : buffer_(std::move(delay)), capacity_(capacity), victim_policy_(victim_policy) {
+    : buffer_(std::move(delay), victim_policy),
+      capacity_(capacity),
+      victim_policy_(victim_policy) {
   if (capacity == 0) {
     throw std::invalid_argument("RcadDiscipline: capacity must be >= 1");
   }
+  buffer_.reserve(capacity);
 }
 
 void RcadDiscipline::on_packet(net::Packet&& packet, net::NodeContext& ctx) {
   if (buffer_.size() >= capacity_) {
-    const std::size_t victim = select_victim(
-        buffer_.held(), victim_policy_, ctx.simulator().now(), ctx.rng());
-    net::Packet early = buffer_.eject(victim, ctx);
+    net::Packet early = buffer_.preempt(ctx);
     ++preemptions_;
     ctx.transmit(std::move(early));
   }

@@ -11,7 +11,8 @@ ErlangTunedRcad::ErlangTunedRcad(const Config& config)
     : config_(config),
       admissible_rho_(0.0),
       buffer_(std::make_unique<ExponentialDelay>(
-          std::max(config.max_mean_delay, 1e-9))),
+                  std::max(config.max_mean_delay, 1e-9)),
+              config.victim),
       current_mean_(config.max_mean_delay) {
   if (config.capacity == 0) {
     throw std::invalid_argument("ErlangTunedRcad: capacity must be >= 1");
@@ -27,6 +28,7 @@ ErlangTunedRcad::ErlangTunedRcad(const Config& config)
   }
   admissible_rho_ = queueing::max_rho_for_loss(config.target_loss,
                                                config.capacity);
+  buffer_.reserve(config.capacity);
 }
 
 void ErlangTunedRcad::retune(double now) {
@@ -50,9 +52,7 @@ void ErlangTunedRcad::on_packet(net::Packet&& packet, net::NodeContext& ctx) {
   retune(ctx.simulator().now());
   if (buffer_.size() >= config_.capacity) {
     // Safety net for bursts the EWMA lags behind: classic RCAD preemption.
-    const std::size_t victim = select_victim(
-        buffer_.held(), config_.victim, ctx.simulator().now(), ctx.rng());
-    net::Packet early = buffer_.eject(victim, ctx);
+    net::Packet early = buffer_.preempt(ctx);
     ++preemptions_;
     ctx.transmit(std::move(early));
   }

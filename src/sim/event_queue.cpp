@@ -1,63 +1,149 @@
 #include "sim/event_queue.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace tempriv::sim {
 
-EventId EventQueue::schedule(Time at, std::function<void()> action) {
-  const EventId id(next_seq_);
-  heap_.push(HeapEntry{at, next_seq_, id});
-  actions_.emplace(next_seq_, std::move(action));
-  ++next_seq_;
-  ++live_count_;
-  return id;
+std::uint64_t EventQueue::next_aux(std::uint32_t slot) {
+  if (next_seq_ >= (1ull << 40)) {
+    throw std::length_error("EventQueue: sequence number space exhausted");
+  }
+  return (next_seq_++ << kSlotBits) | slot;
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    Slot& s = slot_at(slot);
+    free_head_ = s.next_free;
+#if defined(__GNUC__) || defined(__clang__)
+    // Warm the next free slot's line for the next schedule() call.
+    if (free_head_ != kNilSlot) __builtin_prefetch(&slot_at(free_head_), 1);
+#endif
+    s.next_free = kNilSlot;
+    return slot;
+  }
+  if (slot_count_ == kMaxSlots) {
+    throw std::length_error("EventQueue: slot pool exhausted");
+  }
+  if (slot_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return slot_count_++;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slot_at(slot);
+  s.action = Callback{};
+  // Resetting the occupant word invalidates the outstanding handle and any
+  // heap record for this slot's previous event; the next occupant's aux has
+  // a fresh sequence number, so stale records can never spring back to life.
+  s.aux = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
-  const auto it = actions_.find(id.value());
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
-  cancelled_.insert(id.value());
+  const std::uint64_t aux = id.value();
+  const std::uint32_t slot = aux_slot(aux);
+  if (slot >= slot_count_) return false;
+  if (slot_at(slot).aux != aux) return false;
+  release_slot(slot);
   --live_count_;
+  // The cancelled event's heap record stays behind as a tombstone; sweep the
+  // head now so next_time() never reports a cancelled event.
   drop_leading_tombstones();
   return true;
 }
 
-void EventQueue::drop_leading_tombstones() {
-  while (!heap_.empty()) {
-    const auto tomb = cancelled_.find(heap_.top().id.value());
-    if (tomb == cancelled_.end()) break;
-    cancelled_.erase(tomb);
-    heap_.pop();
+// Sift up with a hole: the entry is written once at its final position
+// instead of swapped level by level.
+void EventQueue::heap_push(HeapEntry entry) {
+  std::size_t pos = heap_.size();
+  heap_.push_back(entry);
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!entry.precedes(heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = entry;
+}
+
+// Removes the root: sift the old back element down through the hole the
+// root leaves, moving each level's smallest child up (one 16-byte move per
+// level, never a swap).
+void EventQueue::heap_pop_front() noexcept {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t first_child = 4 * pos + 1;
+    if (first_child >= n) break;
+    const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (heap_[c].precedes(heap_[best])) best = c;
+    }
+    if (!heap_[best].precedes(last)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = last;
+}
+
+void EventQueue::drop_leading_tombstones() noexcept {
+  // heap_.size() == live_count_ means no cancelled records are in flight, so
+  // cancel-free workloads skip the per-pop slot probe entirely.
+  while (heap_.size() != live_count_ && !entry_live(heap_.front())) {
+    heap_pop_front();
   }
 }
 
 std::optional<EventQueue::Event> EventQueue::pop() {
   drop_leading_tombstones();
   if (heap_.empty()) return std::nullopt;
-  const HeapEntry top = heap_.top();
-  heap_.pop();
-  auto it = actions_.find(top.id.value());
-  Event event{top.at, top.id, std::move(it->second)};
-  actions_.erase(it);
+  const HeapEntry top = heap_.front();
+  const std::uint32_t slot = aux_slot(top.aux);
+  // Start pulling the slot (a random-access line) into cache while the
+  // sift-down below walks the heap; the two latencies overlap.
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(&slot_at(slot), 1);
+#endif
+  heap_pop_front();
+  Event event{key_to_time(top.key), EventId(top.aux),
+              std::move(slot_at(slot).action)};
+  release_slot(slot);
   --live_count_;
-  // The new head may be a tombstone left by an earlier mid-heap cancel;
-  // sweep now so next_time() never reports a cancelled event.
+  // The new head may be a tombstone left by an earlier mid-heap cancel.
   drop_leading_tombstones();
   return event;
 }
 
-Time EventQueue::next_time() const {
-  // drop_leading_tombstones() runs on every cancel, so the top is live.
-  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+void EventQueue::clear() {
+  heap_.clear();
+  free_head_ = kNilSlot;
+  for (std::uint32_t i = slot_count_; i-- > 0;) {
+    Slot& s = slot_at(i);
+    s.action = Callback{};
+    s.aux = 0;
+    s.next_free = free_head_;
+    free_head_ = i;
+  }
+  live_count_ = 0;
 }
 
-void EventQueue::clear() {
-  heap_ = {};
-  cancelled_.clear();
-  actions_.clear();
-  live_count_ = 0;
+void EventQueue::reserve(std::size_t events) {
+  heap_.reserve(events);
+  const std::size_t chunks =
+      (events + kChunkSize - 1) / kChunkSize;
+  while (chunks_.size() < chunks) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
 }
 
 }  // namespace tempriv::sim

@@ -1,19 +1,25 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <optional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/time.h"
 
 namespace tempriv::sim {
 
 /// Opaque handle to a scheduled event; used to cancel it later.
 /// Value 0 is reserved for "invalid".
+///
+/// Internally the value is the event's unique "aux" word: bits [0,24) hold
+/// the pool slot index and bits [24,64) the event's global sequence number.
+/// The sequence number makes every handle unique for the queue's lifetime,
+/// so a handle kept past its event's firing (or cancellation) can never
+/// alias the slot's next occupant.
 class EventId {
  public:
   constexpr EventId() noexcept = default;
@@ -29,19 +35,53 @@ class EventId {
 };
 
 /// Priority queue of timed callbacks with O(log n) insert/pop and O(1)
-/// amortized cancellation (lazy deletion: cancelled ids are tombstoned and
-/// skipped at pop time). Ties in time are broken by insertion order so runs
-/// are fully deterministic.
+/// cancellation. Ties in time are broken by insertion order so runs are
+/// fully deterministic.
+///
+/// The design is a free-listed slot pool plus a 4-ary implicit heap of
+/// 16-byte {key, aux} records:
+///  - callbacks live in fixed-size pool slots (InlineCallback — no per-event
+///    heap allocation for the capture sizes the simulator uses), stored in
+///    1024-slot chunks so pool growth never moves a stored callback;
+///  - `key` is the event time's bits mapped monotonically to an unsigned
+///    integer (IEEE-754 totally ordered for finite doubles), and `aux`
+///    packs {seq:40, slot:24}, so the heap's entire (time, seq) ordering
+///    contract is two integer compares on one 16-byte record;
+///  - EventId is the aux word itself, so cancel() is an array index plus one
+///    8-byte identity compare — no hashing, no tombstone set;
+///  - cancelling frees the slot immediately and leaves the heap record
+///    behind as a tombstone; records whose aux no longer matches their
+///    slot's current occupant are skipped when they surface at the head,
+///    and cancel-free workloads skip the check entirely.
+/// In steady state (pool and heap at capacity) schedule/cancel/pop perform
+/// zero heap allocations (see the allocation-counter test and microbench).
 class EventQueue {
  public:
+  /// Inline capture budget for scheduled callbacks: enough for the largest
+  /// hot-path lambda in the simulator (DelayBuffer's release closure); a
+  /// bigger callable still works but falls back to one heap allocation.
+  using Callback = InlineCallback<48>;
+
   struct Event {
     Time at = kTimeZero;
     EventId id;
-    std::function<void()> action;
+    Callback action;
   };
 
   /// Inserts `action` to fire at time `at`. Returns a handle for cancel().
-  EventId schedule(Time at, std::function<void()> action);
+  /// Throws std::length_error if the queue would exceed 2^24 concurrent
+  /// events or 2^40 total events (far beyond any simulated workload).
+  template <class F>
+  EventId schedule(Time at, F&& action) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_at(slot);
+    s.action.emplace(std::forward<F>(action));
+    const std::uint64_t aux = next_aux(slot);
+    s.aux = aux;
+    heap_push(HeapEntry{time_to_key(at), aux});
+    ++live_count_;
+    return EventId(aux);
+  }
 
   /// Cancels a pending event. Returns true if the event was still pending
   /// (it will not fire); false if it already fired, was already cancelled,
@@ -52,33 +92,101 @@ class EventQueue {
   std::optional<Event> pop();
 
   /// Time of the earliest pending event, or kTimeInfinity if empty.
-  Time next_time() const;
+  Time next_time() const noexcept {
+    // Leading tombstones are swept on every cancel/pop, so the head is live.
+    return heap_.empty() ? kTimeInfinity : key_to_time(heap_.front().key);
+  }
 
   /// Number of pending (non-cancelled) events.
   std::size_t size() const noexcept { return live_count_; }
   bool empty() const noexcept { return live_count_ == 0; }
 
-  /// Drops every pending event.
+  /// Drops every pending event, frees all pool slots, and discards any
+  /// tombstoned heap records. Handles issued before clear() are invalidated
+  /// (their slots' occupant words are reset), so they can never cancel an
+  /// event scheduled afterwards. Capacity is retained.
   void clear();
 
+  /// Pre-sizes the heap and the slot pool for `events` concurrent events so
+  /// the steady state never reallocates.
+  void reserve(std::size_t events);
+
+  /// Slots currently allocated in the pool (capacity diagnostics).
+  std::size_t slot_count() const noexcept { return slot_count_; }
+
+  /// Monotone bijection from double event times to unsigned keys:
+  /// a < b  <=>  time_to_key(a) < time_to_key(b) for all ordered (non-NaN)
+  /// doubles. Positive values map above the sign-bit midpoint unchanged;
+  /// negative values are bit-complemented to reverse their descending
+  /// two's-complement-pattern order.
+  static constexpr std::uint64_t time_to_key(Time at) noexcept {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(at);
+    return (bits & kSignBit) != 0 ? ~bits : bits | kSignBit;
+  }
+  static constexpr Time key_to_time(std::uint64_t key) noexcept {
+    const std::uint64_t bits = (key & kSignBit) != 0 ? key & ~kSignBit : ~key;
+    return std::bit_cast<Time>(bits);
+  }
+
  private:
+  static constexpr std::uint64_t kSignBit = 0x8000000000000000ull;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
+  // The pool is stored in fixed 1024-slot chunks: growing it allocates a new
+  // chunk without moving existing slots (a vector would run every stored
+  // callback's move constructor on each reallocation), and slot addresses
+  // stay stable for the lifetime of the queue.
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  struct Slot {
+    Callback action;
+    std::uint64_t aux = 0;  // current occupant's identity; 0 = free
+    std::uint32_t next_free = kNilSlot;
+  };
+
   struct HeapEntry {
-    Time at;
-    std::uint64_t seq;  // insertion order; tie-breaker for determinism
-    EventId id;
-    // Greater-than so std::priority_queue acts as a min-heap.
-    bool operator>(const HeapEntry& other) const noexcept {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    std::uint64_t key;  // time_to_key(at)
+    std::uint64_t aux;  // {seq:40, slot:24}; seq compares in the high bits
+
+    // (time, seq) lexicographic order: seq is unique, so comparing the aux
+    // words on key ties is exactly the insertion-order tie-break.
+    bool precedes(const HeapEntry& other) const noexcept {
+      if (key != other.key) return key < other.key;
+      return aux < other.aux;
     }
   };
 
-  void drop_leading_tombstones();
+  Slot& slot_at(std::uint32_t index) noexcept {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  const Slot& slot_at(std::uint32_t index) const noexcept {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  static constexpr std::uint32_t aux_slot(std::uint64_t aux) noexcept {
+    return static_cast<std::uint32_t>(aux & (kMaxSlots - 1));
+  }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  // Actions are stored by id so cancel() can free the callback immediately.
-  std::unordered_map<std::uint64_t, std::function<void()>> actions_;
+  std::uint64_t next_aux(std::uint32_t slot);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+  bool entry_live(const HeapEntry& entry) const noexcept {
+    return slot_at(aux_slot(entry.aux)).aux == entry.aux;
+  }
+
+  void heap_push(HeapEntry entry);
+  void heap_pop_front() noexcept;
+  void drop_leading_tombstones() noexcept;
+
+  // 4-ary implicit min-heap on (key, aux) — i.e. on (time, seq). Compared to
+  // a binary heap this halves the levels a pop's sift-down walks (the
+  // pop-heavy hot path), and four 16-byte entries are exactly one cache
+  // line.
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;  // slots handed out at least once
+  std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
 };

@@ -1,29 +1,6 @@
 #include "sim/simulator.h"
 
-#include <cmath>
-#include <stdexcept>
-#include <utility>
-
 namespace tempriv::sim {
-
-EventId Simulator::schedule_at(Time at, std::function<void()> action) {
-  if (!std::isfinite(at)) {
-    throw std::invalid_argument("Simulator::schedule_at: non-finite time");
-  }
-  if (at < now_) {
-    throw std::invalid_argument(
-        "Simulator::schedule_at: cannot schedule in the past");
-  }
-  return queue_.schedule(at, std::move(action));
-}
-
-EventId Simulator::schedule_after(Duration delay, std::function<void()> action) {
-  if (!std::isfinite(delay) || delay < 0.0) {
-    throw std::invalid_argument(
-        "Simulator::schedule_after: delay must be finite and >= 0");
-  }
-  return queue_.schedule(now_ + delay, std::move(action));
-}
 
 bool Simulator::step() {
   auto event = queue_.pop();

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
-#include <functional>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -27,10 +29,34 @@ class Simulator {
   /// Schedules `action` at absolute time `at`.
   /// Throws std::invalid_argument if `at` precedes the current time or is
   /// not a finite number — both indicate a logic error in the caller.
-  EventId schedule_at(Time at, std::function<void()> action);
+  /// `action` is any nullary callable; small captures are stored inline in
+  /// the kernel's slot pool (see EventQueue::Callback) with no heap
+  /// allocation.
+  template <class F>
+  EventId schedule_at(Time at, F&& action) {
+    if (!std::isfinite(at)) {
+      throw std::invalid_argument("Simulator::schedule_at: non-finite time");
+    }
+    if (at < now_) {
+      throw std::invalid_argument(
+          "Simulator::schedule_at: cannot schedule in the past");
+    }
+    return queue_.schedule(at, std::forward<F>(action));
+  }
 
   /// Schedules `action` after `delay` (>= 0, finite) time units.
-  EventId schedule_after(Duration delay, std::function<void()> action);
+  template <class F>
+  EventId schedule_after(Duration delay, F&& action) {
+    if (!std::isfinite(delay) || delay < 0.0) {
+      throw std::invalid_argument(
+          "Simulator::schedule_after: delay must be finite and >= 0");
+    }
+    return queue_.schedule(now_ + delay, std::forward<F>(action));
+  }
+
+  /// Pre-sizes the event queue for `events` concurrent pending events so the
+  /// steady state never reallocates (see EventQueue::reserve).
+  void reserve(std::size_t events) { queue_.reserve(events); }
 
   /// Cancels a pending event; see EventQueue::cancel.
   bool cancel(EventId id) { return queue_.cancel(id); }

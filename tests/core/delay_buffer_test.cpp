@@ -29,14 +29,33 @@ TEST(DelayBuffer, ReleasesAfterSampledDelay) {
   EXPECT_EQ(buffer.size(), 0u);
 }
 
-TEST(DelayBuffer, HeldEntriesRecordReleaseTimes) {
+TEST(DelayBuffer, SnapshotRecordsReleaseTimes) {
   TestContext ctx;
   DelayBuffer buffer(std::make_unique<ConstantDelay>(10.0));
   buffer.admit(ctx.make_packet(7), ctx);
-  ASSERT_EQ(buffer.held().size(), 1u);
-  EXPECT_DOUBLE_EQ(buffer.held()[0].enqueue_time, 0.0);
-  EXPECT_DOUBLE_EQ(buffer.held()[0].release_time, 10.0);
-  EXPECT_EQ(buffer.held()[0].packet.uid, 7u);
+  const auto held = buffer.snapshot();
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_DOUBLE_EQ(held[0].enqueue_time, 0.0);
+  EXPECT_DOUBLE_EQ(held[0].release_time, 10.0);
+  EXPECT_EQ(held[0].packet.uid, 7u);
+}
+
+TEST(DelayBuffer, SnapshotPreservesAdmissionOrder) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ExponentialDelay>(5.0));
+  for (std::uint64_t uid = 0; uid < 8; ++uid) {
+    buffer.admit(ctx.make_packet(uid), ctx);
+  }
+  // Ejecting from the middle must keep the remaining relative order, exactly
+  // like the pre-slot-pool vector erase did.
+  buffer.eject(3, ctx);
+  buffer.eject(0, ctx);
+  const auto held = buffer.snapshot();
+  ASSERT_EQ(held.size(), 6u);
+  const std::uint64_t expected[] = {1, 2, 4, 5, 6, 7};
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i].packet.uid, expected[i]);
+  }
 }
 
 TEST(DelayBuffer, EjectCancelsScheduledRelease) {
@@ -55,6 +74,21 @@ TEST(DelayBuffer, EjectValidatesIndex) {
   TestContext ctx;
   DelayBuffer buffer(std::make_unique<ConstantDelay>(1.0));
   EXPECT_THROW(buffer.eject(0, ctx), std::out_of_range);
+}
+
+TEST(DelayBuffer, SlotsAreRecycledAcrossAdmissions) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(1.0));
+  buffer.reserve(4);
+  // Churn far more packets than the working set; every one must come back
+  // out exactly once even though slots (and their release events) recycle.
+  for (std::uint64_t uid = 0; uid < 100; ++uid) {
+    buffer.admit(ctx.make_packet(uid), ctx);
+    if (buffer.size() > 3) buffer.preempt(ctx);
+    ctx.simulator().run_until(ctx.simulator().now() + 0.25);
+  }
+  ctx.simulator().run();
+  EXPECT_EQ(buffer.size(), 0u);
 }
 
 TEST(DelayBuffer, MultiplePacketsReleaseIndependently) {
@@ -99,10 +133,11 @@ TEST(SelectVictim, ShortestRemainingPicksClosestToDeparture) {
   for (std::uint64_t uid = 0; uid < 5; ++uid) {
     buffer.admit(ctx.make_packet(uid), ctx);
   }
-  const std::size_t victim = select_victim(
-      buffer.held(), VictimPolicy::kShortestRemaining, 0.0, ctx.rng());
-  for (std::size_t i = 0; i < buffer.held().size(); ++i) {
-    EXPECT_LE(buffer.held()[victim].release_time, buffer.held()[i].release_time);
+  const auto held = buffer.snapshot();
+  const std::size_t victim =
+      select_victim(held, VictimPolicy::kShortestRemaining, 0.0, ctx.rng());
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_LE(held[victim].release_time, held[i].release_time);
   }
 }
 
@@ -112,10 +147,11 @@ TEST(SelectVictim, LongestRemainingIsOpposite) {
   for (std::uint64_t uid = 0; uid < 5; ++uid) {
     buffer.admit(ctx.make_packet(uid), ctx);
   }
-  const std::size_t victim = select_victim(
-      buffer.held(), VictimPolicy::kLongestRemaining, 0.0, ctx.rng());
-  for (std::size_t i = 0; i < buffer.held().size(); ++i) {
-    EXPECT_GE(buffer.held()[victim].release_time, buffer.held()[i].release_time);
+  const auto held = buffer.snapshot();
+  const std::size_t victim =
+      select_victim(held, VictimPolicy::kLongestRemaining, 0.0, ctx.rng());
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_GE(held[victim].release_time, held[i].release_time);
   }
 }
 
@@ -127,9 +163,10 @@ TEST(SelectVictim, OldestPicksEarliestEnqueue) {
     buffer.admit(ctx.make_packet(1), ctx);
   });
   ctx.simulator().run_until(2.0);
+  const auto held = buffer.snapshot();
   const std::size_t victim =
-      select_victim(buffer.held(), VictimPolicy::kOldest, 2.0, ctx.rng());
-  EXPECT_EQ(buffer.held()[victim].packet.uid, 0u);
+      select_victim(held, VictimPolicy::kOldest, 2.0, ctx.rng());
+  EXPECT_EQ(held[victim].packet.uid, 0u);
 }
 
 TEST(SelectVictim, RandomIsInRangeAndCoversBuffer) {
@@ -138,10 +175,11 @@ TEST(SelectVictim, RandomIsInRangeAndCoversBuffer) {
   for (std::uint64_t uid = 0; uid < 4; ++uid) {
     buffer.admit(ctx.make_packet(uid), ctx);
   }
+  const auto held = buffer.snapshot();
   std::set<std::size_t> seen;
   for (int i = 0; i < 200; ++i) {
     const std::size_t victim =
-        select_victim(buffer.held(), VictimPolicy::kRandom, 0.0, ctx.rng());
+        select_victim(held, VictimPolicy::kRandom, 0.0, ctx.rng());
     ASSERT_LT(victim, 4u);
     seen.insert(victim);
   }
@@ -153,6 +191,74 @@ TEST(SelectVictim, RejectsEmptyBuffer) {
   EXPECT_THROW(
       select_victim({}, VictimPolicy::kShortestRemaining, 0.0, ctx.rng()),
       std::invalid_argument);
+}
+
+// The indexed preempt() must pick exactly the packet the reference linear
+// scan picks — for every policy, across interleaved admits/releases. This is
+// the determinism contract that keeps the paper CSVs byte-identical.
+class PreemptMatchesReference
+    : public ::testing::TestWithParam<VictimPolicy> {};
+
+TEST_P(PreemptMatchesReference, AcrossChurn) {
+  const VictimPolicy policy = GetParam();
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ExponentialDelay>(10.0), policy);
+  std::uint64_t uid = 0;
+  for (int round = 0; round < 200; ++round) {
+    buffer.admit(ctx.make_packet(uid++), ctx);
+    if (buffer.size() >= 6) {
+      // Reference choice on a snapshot, with a cloned RNG so preempt() sees
+      // the same uniform draw the reference consumed.
+      const auto held = buffer.snapshot();
+      sim::RandomStream reference_rng = ctx.rng();
+      const std::size_t expected_index = select_victim(
+          held, policy, ctx.simulator().now(), reference_rng);
+      const std::uint64_t expected_uid = held[expected_index].packet.uid;
+      const net::Packet victim = buffer.preempt(ctx);
+      EXPECT_EQ(victim.uid, expected_uid) << "round " << round;
+    }
+    // Let some natural releases fire so the structures churn.
+    ctx.simulator().run_until(ctx.simulator().now() + 1.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PreemptMatchesReference,
+                         ::testing::Values(VictimPolicy::kShortestRemaining,
+                                           VictimPolicy::kLongestRemaining,
+                                           VictimPolicy::kRandom,
+                                           VictimPolicy::kOldest),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case VictimPolicy::kShortestRemaining:
+                               return "ShortestRemaining";
+                             case VictimPolicy::kLongestRemaining:
+                               return "LongestRemaining";
+                             case VictimPolicy::kRandom:
+                               return "Random";
+                             case VictimPolicy::kOldest:
+                               return "Oldest";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(DelayBufferPreempt, ThrowsOnEmptyBuffer) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(1.0));
+  EXPECT_THROW(buffer.preempt(ctx), std::logic_error);
+}
+
+TEST(DelayBufferPreempt, CancelsTheVictimsRelease) {
+  TestContext ctx;
+  DelayBuffer buffer(std::make_unique<ConstantDelay>(5.0),
+                     VictimPolicy::kShortestRemaining);
+  buffer.admit(ctx.make_packet(0), ctx);
+  buffer.admit(ctx.make_packet(1), ctx);
+  const net::Packet victim = buffer.preempt(ctx);
+  EXPECT_EQ(victim.uid, 0u);  // equal release times: first admitted wins
+  ctx.simulator().run();
+  // Only the survivor's release fires.
+  ASSERT_EQ(ctx.transmitted().size(), 1u);
+  EXPECT_EQ(ctx.transmitted()[0].second.uid, 1u);
 }
 
 TEST(VictimPolicy, ToStringCoversAll) {

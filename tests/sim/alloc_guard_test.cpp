@@ -1,0 +1,163 @@
+// Proves the event kernel's zero-allocation contract: once the queue's heap
+// and slot pool are warm, schedule/pop (and cancel) never touch the global
+// heap. Lives in its own test binary because it replaces the global
+// operator new/delete with counting versions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/delay_buffer.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+// GCC flags malloc-backed replacement allocators as mismatched new/delete
+// pairs; the pairing is correct here since every path goes through these.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tempriv::sim {
+namespace {
+
+std::size_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(AllocGuard, WarmScheduleAndPopAllocatesNothing) {
+  RandomStream rng(11);
+  EventQueue queue;
+  queue.reserve(512);
+  // Warm-up: visit every reserved slot once so the freelist is populated.
+  for (int i = 0; i < 512; ++i) {
+    queue.schedule(rng.uniform(0.0, 100.0), [] {});
+  }
+  while (queue.pop()) {
+  }
+
+  double sink = 0.0;
+  const std::size_t before = allocations();
+  for (int round = 0; round < 20000; ++round) {
+    // A capture the size of the simulator's hot-path closures.
+    const double at = rng.uniform(0.0, 100.0);
+    queue.schedule(at, [&sink, at] { sink += at; });
+    if (round % 3 == 0) {
+      auto event = queue.pop();
+      if (event) event->action();
+    }
+    while (queue.size() >= 500) {
+      auto event = queue.pop();
+      if (event) event->action();
+    }
+  }
+  while (auto event = queue.pop()) {
+    event->action();
+  }
+  const std::size_t after = allocations();
+  EXPECT_EQ(after - before, 0u) << "event kernel allocated on the hot path";
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(AllocGuard, WarmCancelAllocatesNothing) {
+  RandomStream rng(12);
+  EventQueue queue;
+  queue.reserve(1024);
+  std::vector<EventId> ids;
+  ids.reserve(1024);
+  for (int i = 0; i < 1024; ++i) {
+    ids.push_back(queue.schedule(rng.uniform(0.0, 100.0), [] {}));
+  }
+  const std::size_t before = allocations();
+  for (std::size_t i = 0; i < ids.size(); i += 2) queue.cancel(ids[i]);
+  while (queue.pop()) {
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(AllocGuard, HotPathClosuresFitInline) {
+  // The closures the simulator schedules per event must stay within the
+  // InlineCallback budget, or every event costs a heap allocation again.
+  Simulator* sim = nullptr;
+  std::uint64_t remaining = 0;
+  // Simulator event-chain shape (pointer + countdown pointer).
+  auto chain = [&sim, &remaining] { (void)sim, (void)remaining; };
+  // DelayBuffer::release shape: this + slot + uid + context reference.
+  void* self = nullptr;
+  std::uint32_t slot = 0;
+  std::uint64_t uid = 0;
+  auto release = [self, slot, uid, &remaining] {
+    (void)self, (void)slot, (void)uid, (void)remaining;
+  };
+  EXPECT_TRUE(EventQueue::Callback::fits_inline<decltype(chain)>());
+  EXPECT_TRUE(EventQueue::Callback::fits_inline<decltype(release)>());
+}
+
+TEST(AllocGuard, WarmDelayBufferChurnAllocatesNothing) {
+  // The full RCAD inner loop — admit, release event, preempt — on a warm
+  // buffer. Packet payloads are plain structs, so nothing here may allocate.
+  Simulator simulator;
+  RandomStream rng(13);
+
+  class NullContext final : public net::NodeContext {
+   public:
+    NullContext(Simulator& sim, RandomStream& rng) : sim_(sim), rng_(rng) {}
+    Simulator& simulator() noexcept override { return sim_; }
+    RandomStream& rng() noexcept override { return rng_; }
+    net::NodeId id() const noexcept override { return 0; }
+    std::uint16_t hops_to_sink() const noexcept override { return 1; }
+    void transmit(net::Packet&&) override {}
+
+   private:
+    Simulator& sim_;
+    RandomStream& rng_;
+  };
+
+  NullContext ctx(simulator, rng);
+  core::DelayBuffer buffer(std::make_unique<core::ExponentialDelay>(5.0),
+                           core::VictimPolicy::kShortestRemaining);
+  constexpr std::size_t kCapacity = 32;
+  buffer.reserve(kCapacity);
+  simulator.reserve(kCapacity + 8);
+  auto make_packet = [](std::uint64_t uid) {
+    net::Packet packet;
+    packet.uid = uid;
+    return packet;
+  };
+  std::uint64_t uid = 0;
+  // Warm-up: fill to capacity once so every slot and heap cell exists.
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    buffer.admit(make_packet(uid++), ctx);
+  }
+  const std::size_t before = allocations();
+  for (int round = 0; round < 5000; ++round) {
+    if (buffer.size() >= kCapacity) buffer.preempt(ctx);
+    buffer.admit(make_packet(uid++), ctx);
+    simulator.run_until(simulator.now() + 0.2);
+  }
+  simulator.run();
+  EXPECT_EQ(allocations() - before, 0u)
+      << "RCAD buffer allocated on the steady-state path";
+}
+
+}  // namespace
+}  // namespace tempriv::sim

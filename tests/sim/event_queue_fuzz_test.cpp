@@ -22,12 +22,19 @@ TEST_P(EventQueueFuzzTest, MatchesReferenceModel) {
   std::map<std::pair<double, std::uint64_t>, EventId> model;
   std::uint64_t seq = 0;
   std::vector<std::pair<std::pair<double, std::uint64_t>, EventId>> live;
+  // Handles whose events fired, were cancelled, or were dropped by clear().
+  // Slots recycle aggressively under this churn, so these exercise the
+  // stale-handle guarantee: a dead id must never alias a newer event.
+  std::vector<EventId> dead;
+  double last_at = 0.0;
 
   for (int op = 0; op < 5000; ++op) {
     const double dice = rng.uniform01();
     if (dice < 0.5) {
-      // Schedule.
-      const double at = rng.uniform(0.0, 100.0);
+      // Schedule; every 8th event reuses the previous draw so exact time
+      // ties (broken by insertion order) stay exercised.
+      const double at =
+          op % 8 == 7 ? last_at : (last_at = rng.uniform(0.0, 100.0));
       const EventId id = queue.schedule(at, [] {});
       model.emplace(std::make_pair(at, seq), id);
       live.push_back({{at, seq}, id});
@@ -42,7 +49,8 @@ TEST_P(EventQueueFuzzTest, MatchesReferenceModel) {
       ASSERT_EQ(model.erase(key), 1u);
       // Double-cancel must fail.
       ASSERT_FALSE(queue.cancel(id));
-    } else if (!model.empty()) {
+      dead.push_back(id);
+    } else if (dice < 0.99 && !model.empty()) {
       // Pop: must match the model's earliest (time, seq) entry.
       const auto expected = model.begin();
       ASSERT_DOUBLE_EQ(queue.next_time(), expected->first.first);
@@ -57,6 +65,21 @@ TEST_P(EventQueueFuzzTest, MatchesReferenceModel) {
         }
       }
       model.erase(expected);
+      // Cancelling after the event fired must fail, now and forever.
+      ASSERT_FALSE(queue.cancel(event->id));
+      dead.push_back(event->id);
+    } else if (dice >= 0.99) {
+      // Rare full reset: everything pending dies, handles included.
+      queue.clear();
+      for (const auto& entry : live) dead.push_back(entry.second);
+      live.clear();
+      model.clear();
+    }
+    if (!dead.empty()) {
+      // A recycled slot must never resurrect an old handle.
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_index(dead.size()));
+      ASSERT_FALSE(queue.cancel(dead[pick]));
     }
     ASSERT_EQ(queue.size(), model.size());
   }

@@ -126,6 +126,70 @@ TEST(EventQueue, ManyInterleavedCancelsStayConsistent) {
   EXPECT_EQ(popped, 500u);
 }
 
+TEST(EventQueue, ClearResetsPoolForReuse) {
+  // Regression: clear() must reset the slot pool and tombstone state so the
+  // queue is immediately reusable — schedule -> clear -> reschedule.
+  EventQueue q;
+  std::vector<EventId> old_ids;
+  for (int i = 0; i < 64; ++i) {
+    old_ids.push_back(q.schedule(static_cast<double>(i), [] {}));
+  }
+  // Leave tombstones in the heap so clear() also has to discard those.
+  for (std::size_t i = 0; i < old_ids.size(); i += 3) q.cancel(old_ids[i]);
+  q.clear();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+
+  int fired = 0;
+  q.schedule(7.0, [&] { ++fired; });
+  const EventId later = q.schedule(9.0, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+  // Handles from before clear() are dead and must not cancel the new
+  // events now occupying their recycled slots.
+  for (const EventId id : old_ids) EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(later));
+  auto event = q.pop();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_DOUBLE_EQ(event->at, 7.0);
+  event->action();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, ReservePreallocatesSlots) {
+  EventQueue q;
+  q.reserve(2500);
+  EXPECT_EQ(q.slot_count(), 0u);  // reserve allocates chunks, not occupants
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2500; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(i), [] {}));
+  }
+  EXPECT_EQ(q.size(), 2500u);
+  EXPECT_EQ(q.slot_count(), 2500u);
+  double last = -1.0;
+  while (auto event = q.pop()) {
+    EXPECT_GT(event->at, last);
+    last = event->at;
+  }
+}
+
+TEST(EventQueue, StaleHandleNeverCancelsSlotReuser) {
+  // Fire an event, then recycle its pool slot many times; the original
+  // handle must stay dead (sequence numbers make handles globally unique).
+  EventQueue q;
+  const EventId original = q.schedule(1.0, [] {});
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.cancel(original));
+  for (int round = 0; round < 100; ++round) {
+    const EventId reuse = q.schedule(1.0, [] {});
+    EXPECT_NE(reuse, original);
+    EXPECT_FALSE(q.cancel(original));
+    ASSERT_TRUE(q.pop().has_value());
+  }
+}
+
 TEST(EventQueue, EventIdsAreUnique) {
   EventQueue q;
   const EventId a = q.schedule(1.0, [] {});
