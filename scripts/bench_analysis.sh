@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Analysis benchmark trajectory: runs the micro_analysis suite
+# (google-benchmark, JSON aggregates) plus a timed end-to-end
+# bound_vs_empirical_mi figure run, and writes BENCH_analysis.json at the
+# repo root. When bench_results/analysis_before.json (pre-rewrite micro
+# capture) and bench_results/analysis_before_e2e.json (pre-rewrite figure
+# timings) are present, speedups are computed against their medians.
+# Schema: see "Analysis benchmark trajectory" in EXPERIMENTS.md.
+#
+#   scripts/bench_analysis.sh [build-dir]          # default: build
+#   BENCH_REPETITIONS=9 scripts/bench_analysis.sh  # more repetitions
+#   BENCH_E2E_RUNS=15 scripts/bench_analysis.sh    # more figure timings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+REPS=${BENCH_REPETITIONS:-5}
+E2E_RUNS=${BENCH_E2E_RUNS:-9}
+BASELINE=bench_results/analysis_before.json
+E2E_BASELINE=bench_results/analysis_before_e2e.json
+OUT=BENCH_analysis.json
+
+cmake --build "$BUILD_DIR" --target micro_analysis bound_vs_empirical_mi \
+  -j >/dev/null
+
+MICRO_JSON=$(mktemp)
+E2E_JSON=$(mktemp)
+FIG_DIR=$(mktemp -d)
+trap 'rm -rf "$MICRO_JSON" "$E2E_JSON" "$FIG_DIR"' EXIT
+
+echo "== micro_analysis ($REPS repetitions) =="
+"./$BUILD_DIR/bench/micro_analysis" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$MICRO_JSON"
+
+echo "== timed bound_vs_empirical_mi ($E2E_RUNS runs) =="
+{
+  echo '{"runs": ['
+  for i in $(seq "$E2E_RUNS"); do
+    T0=$(date +%s.%N)
+    TEMPRIV_RESULTS_DIR="$FIG_DIR" \
+      "./$BUILD_DIR/bench/bound_vs_empirical_mi" >/dev/null
+    T1=$(date +%s.%N)
+    [ "$i" -gt 1 ] && echo ','
+    echo "$T0 $T1" | awk '{printf "%.4f", $2 - $1}'
+  done
+  echo ']}'
+} >"$E2E_JSON"
+
+python3 - "$MICRO_JSON" "$BASELINE" "$E2E_JSON" "$E2E_BASELINE" "$OUT" \
+  "$REPS" <<'PY'
+import json
+import sys
+import time
+
+micro_path, baseline_path, e2e_path, e2e_baseline_path, out_path, reps = \
+    sys.argv[1:7]
+micro = json.load(open(micro_path))
+
+def medians(report):
+    """name -> {median_us, items_per_second?} from a google-benchmark JSON
+    report (aggregates if present, else raw runs)."""
+    runs = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b["name"]).split("/repeats")[0]
+        entry = runs.setdefault(name, {"samples_us": []})
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[unit]
+        entry["samples_us"].append(b["real_time"] * scale)
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+    out = {}
+    for name, entry in runs.items():
+        samples = sorted(entry.pop("samples_us"))
+        entry["median_us"] = round(samples[len(samples) // 2], 3)
+        out[name] = entry
+    return out
+
+def median(xs):
+    xs = sorted(xs)
+    return xs[len(xs) // 2]
+
+current = medians(micro)
+
+baseline = None
+speedup = {}
+try:
+    baseline = medians(json.load(open(baseline_path)))
+    for name, entry in current.items():
+        if name in baseline and entry["median_us"] > 0:
+            speedup[name] = round(
+                baseline[name]["median_us"] / entry["median_us"], 2)
+except OSError:
+    pass
+
+e2e_runs = json.load(open(e2e_path))["runs"]
+e2e = {
+    "figure": "bound_vs_empirical_mi",
+    "runs": e2e_runs,
+    "median_seconds": round(median(e2e_runs), 4),
+}
+try:
+    e2e_base = json.load(open(e2e_baseline_path))
+    base_runs = e2e_base.get("runs")
+    base_median = (median(base_runs) if base_runs
+                   else e2e_base["bound_vs_empirical_mi_seconds"])
+    e2e["baseline_median_seconds"] = round(base_median, 4)
+    if e2e["median_seconds"] > 0:
+        e2e["speedup_vs_baseline"] = round(
+            base_median / e2e["median_seconds"], 2)
+except OSError:
+    pass
+
+doc = {
+    "schema": "tempriv-bench-analysis/1",
+    "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "repetitions": int(reps),
+    "context": micro.get("context", {}),
+    "benchmarks": current,
+    "end_to_end": e2e,
+}
+if baseline is not None:
+    doc["baseline"] = {
+        "source": baseline_path,
+        "benchmarks": {n: {"median_us": e["median_us"]}
+                       for n, e in baseline.items()},
+    }
+    doc["speedup_vs_baseline"] = speedup
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for name in sorted(current):
+    line = f"  {name}: {current[name]['median_us']} us"
+    if name in speedup:
+        line += f"  ({speedup[name]}x vs baseline)"
+    print(line)
+line = f"  end-to-end {e2e['figure']}: {e2e['median_seconds']} s"
+if "speedup_vs_baseline" in e2e:
+    line += f"  ({e2e['speedup_vs_baseline']}x vs baseline)"
+print(line)
+PY

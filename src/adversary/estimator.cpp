@@ -24,14 +24,14 @@ void Adversary::on_delivery(const net::Packet& packet, sim::Time arrival) {
   est.arrival = arrival;
   est.estimated_creation = estimate_creation(packet.header, arrival, obs);
   estimates_.push_back(est);
+  estimates_by_flow_[est.flow].push_back(est);
 }
 
-std::vector<Estimate> Adversary::estimates_for_flow(net::NodeId flow) const {
-  std::vector<Estimate> out;
-  for (const Estimate& est : estimates_) {
-    if (est.flow == flow) out.push_back(est);
-  }
-  return out;
+const std::vector<Estimate>& Adversary::estimates_for_flow(
+    net::NodeId flow) const {
+  static const std::vector<Estimate> kEmpty;
+  const auto it = estimates_by_flow_.find(flow);
+  return it != estimates_by_flow_.end() ? it->second : kEmpty;
 }
 
 double Adversary::total_rate_estimate() const noexcept {

@@ -1,0 +1,38 @@
+#include "campaign/analysis.h"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "infotheory/estimators.h"
+
+namespace tempriv::campaign {
+
+double parallel_mutual_information_ksg(ThreadPool& pool,
+                                       std::span<const double> xs,
+                                       std::span<const double> zs,
+                                       unsigned k) {
+  infotheory::KsgWorkspace workspace;
+  workspace.prepare(xs, zs, k);
+  const std::size_t n = workspace.size();
+  std::vector<double> psi(n);
+
+  // Chunk size balances scheduling overhead against load imbalance; the
+  // floor keeps tiny inputs from fragmenting into per-point tasks.
+  const std::size_t workers = std::max<std::size_t>(pool.thread_count(), 1);
+  const std::size_t chunk =
+      std::max<std::size_t>(256, (n + workers * 4 - 1) / (workers * 4));
+
+  std::vector<std::future<void>> pending;
+  pending.reserve((n + chunk - 1) / chunk);
+  std::span<double> out(psi);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    pending.push_back(pool.submit(
+        [&workspace, out, begin, end] { workspace.psi_terms(begin, end, out); }));
+  }
+  for (auto& f : pending) f.get();
+  return workspace.reduce(psi);
+}
+
+}  // namespace tempriv::campaign

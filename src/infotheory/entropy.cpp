@@ -1,7 +1,9 @@
 #include "infotheory/entropy.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace tempriv::infotheory {
 
@@ -39,6 +41,25 @@ double digamma(double x) {
             inv2 * (1.0 / 12.0 -
                     inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)));
   return result;
+}
+
+double digamma_int(std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("digamma_int: requires m >= 1");
+  constexpr std::uint64_t kMaxMemo = std::uint64_t{1} << 22;
+  if (m >= kMaxMemo) return digamma(static_cast<double>(m));
+  thread_local std::vector<double> table;
+  if (m >= table.size()) {
+    // Grow geometrically so a sweep of increasing arguments costs one
+    // digamma evaluation per table entry, amortized.
+    const std::size_t target =
+        std::max<std::size_t>(m + 1, std::max<std::size_t>(64, table.size() * 2));
+    table.reserve(target);
+    if (table.empty()) table.push_back(0.0);  // index 0 is never returned
+    for (std::size_t v = table.size(); v < target; ++v) {
+      table.push_back(digamma(static_cast<double>(v)));
+    }
+  }
+  return table[m];
 }
 
 double erlang_entropy(unsigned k, double rate) {

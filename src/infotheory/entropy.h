@@ -33,6 +33,14 @@ double pareto_entropy(double xm, double alpha);
 /// Erlang entropy and the Kozachenko–Leonenko estimator.
 double digamma(double x);
 
+/// ψ(m) for integer m >= 1 through a lazily grown, thread-local memo table
+/// (the KSG estimator evaluates ψ only at the integer points n_x+1, n_z+1,
+/// k and n, and revisits the small ones constantly). Returns exactly
+/// digamma(static_cast<double>(m)) — the table stores those very values —
+/// so swapping it into an estimator cannot change a single bit. Arguments
+/// past the memo cap (2²²) fall through to digamma directly.
+double digamma_int(std::uint64_t m);
+
 /// Entropy power N(X) = e^{2h(X)} / (2πe).
 double entropy_power(double differential_entropy_nats);
 

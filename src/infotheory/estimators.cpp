@@ -12,6 +12,8 @@ namespace tempriv::infotheory {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 struct Range {
   double lo;
   double hi;
@@ -28,23 +30,37 @@ Range sample_range(std::span<const double> samples, const char* who) {
   return {*lo_it, *hi_it};
 }
 
-std::size_t bin_of(double x, const Range& r, std::size_t bins) {
-  const double t = (x - r.lo) / (r.hi - r.lo);
-  auto idx = static_cast<std::size_t>(t * static_cast<double>(bins));
-  return std::min(idx, bins - 1);  // put the max sample in the last bin
-}
+/// Precomputed binning transform: one multiply per sample instead of a
+/// division. `scale` is bins / (hi − lo), the inverse bin width.
+struct BinScale {
+  double lo;
+  double scale;
+  std::size_t last;
+
+  BinScale(const Range& r, std::size_t bins)
+      : lo(r.lo),
+        scale(static_cast<double>(bins) / (r.hi - r.lo)),
+        last(bins - 1) {}
+
+  std::size_t operator()(double x) const {
+    const auto idx = static_cast<std::size_t>((x - lo) * scale);
+    return std::min(idx, last);  // put the max sample in the last bin
+  }
+};
 
 }  // namespace
 
-double entropy_histogram(std::span<const double> samples, std::size_t bins) {
+double entropy_histogram(std::span<const double> samples, std::size_t bins,
+                         AnalysisScratch& scratch) {
   if (bins == 0) throw std::invalid_argument("entropy_histogram: bins >= 1");
   const Range r = sample_range(samples, "entropy_histogram");
   const double width = (r.hi - r.lo) / static_cast<double>(bins);
-  std::vector<std::uint64_t> counts(bins, 0);
-  for (double x : samples) ++counts[bin_of(x, r, bins)];
+  const BinScale bin(r, bins);
+  scratch.counts.assign(bins, 0);
+  for (double x : samples) ++scratch.counts[bin(x)];
   const auto n = static_cast<double>(samples.size());
   double h = 0.0;
-  for (std::uint64_t c : counts) {
+  for (std::uint64_t c : scratch.counts) {
     if (c == 0) continue;
     const double p = static_cast<double>(c) / n;
     h -= p * std::log(p / width);
@@ -52,12 +68,19 @@ double entropy_histogram(std::span<const double> samples, std::size_t bins) {
   return h;
 }
 
-double entropy_knn(std::span<const double> samples, unsigned k) {
+double entropy_histogram(std::span<const double> samples, std::size_t bins) {
+  AnalysisScratch scratch;
+  return entropy_histogram(samples, bins, scratch);
+}
+
+double entropy_knn(std::span<const double> samples, unsigned k,
+                   AnalysisScratch& scratch) {
   if (k == 0) throw std::invalid_argument("entropy_knn: k >= 1");
   if (samples.size() <= k) {
     throw std::invalid_argument("entropy_knn: needs more samples than k");
   }
-  std::vector<double> sorted(samples.begin(), samples.end());
+  std::vector<double>& sorted = scratch.values;
+  sorted.assign(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   const std::size_t n = sorted.size();
   double log_sum = 0.0;
@@ -68,10 +91,8 @@ double entropy_knn(std::span<const double> samples, unsigned k) {
     std::size_t right = i;
     double r = 0.0;
     for (unsigned taken = 0; taken < k; ++taken) {
-      const double dl = left > 0 ? sorted[i] - sorted[left - 1]
-                                 : std::numeric_limits<double>::infinity();
-      const double dr = right + 1 < n ? sorted[right + 1] - sorted[i]
-                                      : std::numeric_limits<double>::infinity();
+      const double dl = left > 0 ? sorted[i] - sorted[left - 1] : kInf;
+      const double dr = right + 1 < n ? sorted[right + 1] - sorted[i] : kInf;
       if (dl <= dr) {
         r = dl;
         --left;
@@ -87,127 +108,305 @@ double entropy_knn(std::span<const double> samples, unsigned k) {
          log_sum / static_cast<double>(n);
 }
 
+double entropy_knn(std::span<const double> samples, unsigned k) {
+  AnalysisScratch scratch;
+  return entropy_knn(samples, k, scratch);
+}
+
 double mutual_information_histogram(std::span<const double> xs,
                                     std::span<const double> zs,
-                                    std::size_t bins) {
+                                    std::size_t bins,
+                                    AnalysisScratch& scratch) {
   if (bins == 0) throw std::invalid_argument("mutual_information_histogram: bins >= 1");
   if (xs.size() != zs.size()) {
     throw std::invalid_argument("mutual_information_histogram: size mismatch");
   }
   const Range rx = sample_range(xs, "mutual_information_histogram(x)");
   const Range rz = sample_range(zs, "mutual_information_histogram(z)");
-  std::vector<std::uint64_t> joint(bins * bins, 0);
-  std::vector<std::uint64_t> mx(bins, 0);
-  std::vector<std::uint64_t> mz(bins, 0);
+  const BinScale bin_x(rx, bins);
+  const BinScale bin_z(rz, bins);
+  scratch.joint.assign(bins * bins, 0);
+  scratch.marginal_x.assign(bins, 0);
+  scratch.marginal_z.assign(bins, 0);
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    const std::size_t bx = bin_of(xs[i], rx, bins);
-    const std::size_t bz = bin_of(zs[i], rz, bins);
-    ++joint[bx * bins + bz];
-    ++mx[bx];
-    ++mz[bz];
+    const std::size_t bx = bin_x(xs[i]);
+    const std::size_t bz = bin_z(zs[i]);
+    ++scratch.joint[bx * bins + bz];
+    ++scratch.marginal_x[bx];
+    ++scratch.marginal_z[bz];
   }
   const auto n = static_cast<double>(xs.size());
   double mi = 0.0;
   for (std::size_t bx = 0; bx < bins; ++bx) {
     for (std::size_t bz = 0; bz < bins; ++bz) {
-      const std::uint64_t c = joint[bx * bins + bz];
+      const std::uint64_t c = scratch.joint[bx * bins + bz];
       if (c == 0) continue;
       const double pxz = static_cast<double>(c) / n;
-      const double px = static_cast<double>(mx[bx]) / n;
-      const double pz = static_cast<double>(mz[bz]) / n;
+      const double px = static_cast<double>(scratch.marginal_x[bx]) / n;
+      const double pz = static_cast<double>(scratch.marginal_z[bz]) / n;
       mi += pxz * std::log(pxz / (px * pz));
     }
   }
   return std::max(mi, 0.0);
 }
 
+double mutual_information_histogram(std::span<const double> xs,
+                                    std::span<const double> zs,
+                                    std::size_t bins) {
+  AnalysisScratch scratch;
+  return mutual_information_histogram(xs, zs, bins, scratch);
+}
+
 namespace {
 
-std::vector<double> normalized_ranks(std::span<const double> xs) {
-  std::vector<std::size_t> order(xs.size());
+void normalized_ranks(std::span<const double> xs, std::vector<std::size_t>& order,
+                      std::vector<double>& ranks) {
+  order.resize(xs.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&xs](std::size_t a, std::size_t b) {
     if (xs[a] != xs[b]) return xs[a] < xs[b];
     return a < b;  // deterministic tie-break
   });
-  std::vector<double> ranks(xs.size());
+  ranks.resize(xs.size());
   for (std::size_t r = 0; r < order.size(); ++r) {
     ranks[order[r]] =
         static_cast<double>(r) / static_cast<double>(xs.size());
   }
-  return ranks;
 }
 
 }  // namespace
 
 double mutual_information_ranked(std::span<const double> xs,
-                                 std::span<const double> zs,
-                                 std::size_t bins) {
+                                 std::span<const double> zs, std::size_t bins,
+                                 AnalysisScratch& scratch) {
   if (xs.size() != zs.size()) {
     throw std::invalid_argument("mutual_information_ranked: size mismatch");
   }
-  const std::vector<double> rx = normalized_ranks(xs);
-  const std::vector<double> rz = normalized_ranks(zs);
-  return mutual_information_histogram(rx, rz, bins);
+  normalized_ranks(xs, scratch.order, scratch.ranks_x);
+  normalized_ranks(zs, scratch.order, scratch.ranks_z);
+  return mutual_information_histogram(scratch.ranks_x, scratch.ranks_z, bins,
+                                      scratch);
 }
 
-double mutual_information_ksg(std::span<const double> xs,
-                              std::span<const double> zs, unsigned k) {
+double mutual_information_ranked(std::span<const double> xs,
+                                 std::span<const double> zs,
+                                 std::size_t bins) {
+  AnalysisScratch scratch;
+  return mutual_information_ranked(xs, zs, bins, scratch);
+}
+
+void KsgWorkspace::prepare(std::span<const double> xs,
+                           std::span<const double> zs, unsigned k) {
   if (xs.size() != zs.size()) {
     throw std::invalid_argument("mutual_information_ksg: size mismatch");
   }
   if (k == 0) throw std::invalid_argument("mutual_information_ksg: k >= 1");
   const std::size_t n = xs.size();
   if (n <= k) {
-    throw std::invalid_argument("mutual_information_ksg: needs more samples than k");
+    throw std::invalid_argument(
+        "mutual_information_ksg: needs more samples than k");
   }
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("mutual_information_ksg: too many samples");
+  }
+  n_ = n;
+  k_ = k;
 
-  double psi_sum = 0.0;
-  std::vector<double> kth(k);  // k smallest joint distances for point i
-  for (std::size_t i = 0; i < n; ++i) {
-    // k-th nearest joint max-norm distance (brute force).
-    std::fill(kth.begin(), kth.end(), std::numeric_limits<double>::infinity());
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const double d =
-          std::max(std::fabs(xs[j] - xs[i]), std::fabs(zs[j] - zs[i]));
-      if (d < kth.back()) {
-        // Insertion into the small sorted buffer of size k.
-        std::size_t pos = k - 1;
-        while (pos > 0 && kth[pos - 1] > d) {
-          kth[pos] = kth[pos - 1];
-          --pos;
-        }
-        kth[pos] = d;
-      }
-    }
-    const double eps = kth.back();
-    std::size_t nx = 0;
-    std::size_t nz = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      if (std::fabs(xs[j] - xs[i]) < eps) ++nx;
-      if (std::fabs(zs[j] - zs[i]) < eps) ++nz;
-    }
-    psi_sum += digamma(static_cast<double>(nx + 1)) +
-               digamma(static_cast<double>(nz + 1));
+  // x-sorted order with original-index tie-break: pos_in_x_ is the inverse
+  // permutation, so point i's own slot (not a duplicate's) is skipped in
+  // the k-NN sweep — the exact j != i rule of the brute-force reference.
+  static thread_local std::vector<std::uint32_t> order;
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(),
+            [&xs](std::uint32_t a, std::uint32_t b) {
+              if (xs[a] != xs[b]) return xs[a] < xs[b];
+              return a < b;
+            });
+  x_by_x_.resize(n);
+  z_by_x_.resize(n);
+  orig_by_x_.assign(order.begin(), order.end());
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t i = order[p];
+    x_by_x_[p] = xs[i];
+    z_by_x_[p] = zs[i];
   }
-  const double mi = digamma(static_cast<double>(k)) +
-                    digamma(static_cast<double>(n)) -
-                    psi_sum / static_cast<double>(n);
+  // z-sorted order, again with index tie-break, so every point knows its
+  // own anchor in the z array without a per-point lower_bound.
+  std::sort(order.begin(), order.end(),
+            [&zs](std::uint32_t a, std::uint32_t b) {
+              if (zs[a] != zs[b]) return zs[a] < zs[b];
+              return a < b;
+            });
+  z_sorted_.resize(n);
+  pos_in_z_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t i = order[p];
+    z_sorted_[p] = zs[i];
+    pos_in_z_[i] = static_cast<std::uint32_t>(p);
+  }
+}
+
+namespace {
+
+/// Number of entries v of sorted[lo_bound..hi_bound] with |v − center| <
+/// eps, found by binary-searching the predicate boundary outward from
+/// `anchor` (an index in range where the predicate holds; the satisfying
+/// run must lie within the given bounds). The predicate is evaluated
+/// exactly as the brute-force reference evaluates it — fabs of the rounded
+/// difference — so the count matches it bit-for-bit; searching on
+/// center ± eps instead could disagree by one at the boundary through a
+/// different rounding.
+std::size_t count_strictly_within(const std::vector<double>& sorted,
+                                  std::size_t lo_bound, std::size_t anchor,
+                                  std::size_t hi_bound, double center,
+                                  double eps) {
+  const auto inside = [&](std::size_t m) {
+    return std::fabs(sorted[m] - center) < eps;
+  };
+  std::size_t lo = lo_bound;
+  std::size_t hi = anchor;
+  while (lo < hi) {  // leftmost index satisfying the predicate
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (inside(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::size_t first = lo;
+  lo = anchor;
+  hi = hi_bound;
+  while (lo < hi) {  // rightmost index satisfying the predicate
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (inside(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo - first + 1;
+}
+
+}  // namespace
+
+double KsgWorkspace::psi_term_at(std::size_t x_position,
+                                 std::vector<double>& kth) const {
+  const std::size_t p = x_position;
+  const double xi = x_by_x_[p];
+  const double zi = z_by_x_[p];
+
+  const auto insert = [&kth, this](double d) {
+    std::size_t pos = k_ - 1;
+    while (pos > 0 && kth[pos - 1] > d) {
+      kth[pos] = kth[pos - 1];
+      --pos;
+    }
+    kth[pos] = d;
+  };
+  const auto joint_distance = [this, xi, zi](double dx, std::size_t j) {
+    return std::max(dx, std::fabs(z_by_x_[j] - zi));
+  };
+
+  // Joint k-NN in the max-norm over the x-order. Seed the k-best buffer
+  // with the k candidates nearest in |Δx| (two-pointer merge), which makes
+  // the running bound finite; then sweep the remaining strip one side at a
+  // time. A point is skipped only once the frontier's |Δx| exceeds the
+  // bound, and the bound never grows, so every skipped point has joint
+  // distance >= |Δx| >= the final k-th best — it cannot displace anything.
+  std::fill(kth.begin(), kth.end(), kInf);
+  std::size_t left = p;   // next left candidate is left-1
+  std::size_t right = p;  // next right candidate is right+1
+  for (unsigned taken = 0; taken < k_; ++taken) {
+    const double dl = left > 0 ? xi - x_by_x_[left - 1] : kInf;
+    const double dr = right + 1 < n_ ? x_by_x_[right + 1] - xi : kInf;
+    if (dl <= dr) {
+      --left;
+      insert(joint_distance(dl, left));
+    } else {
+      ++right;
+      insert(joint_distance(dr, right));
+    }
+  }
+  while (left > 0) {
+    const double dx = xi - x_by_x_[left - 1];
+    if (dx >= kth.back()) break;
+    --left;
+    const double d = joint_distance(dx, left);
+    if (d < kth.back()) insert(d);
+  }
+  while (right + 1 < n_) {
+    const double dx = x_by_x_[right + 1] - xi;
+    if (dx >= kth.back()) break;
+    ++right;
+    const double d = joint_distance(dx, right);
+    if (d < kth.back()) insert(d);
+  }
+  const double eps = kth.back();
+
+  // Marginal counts of samples strictly within eps, excluding the point
+  // itself (which sits inside the interval exactly when eps > 0). The
+  // x-search is confined to the examined window [left, right]: everything
+  // beyond it was skipped with |Δx| >= eps.
+  std::size_t nx = 0;
+  std::size_t nz = 0;
+  if (eps > 0.0) {
+    nx = count_strictly_within(x_by_x_, left, p, right, xi, eps) - 1;
+    const std::size_t pz = pos_in_z_[orig_by_x_[p]];
+    nz = count_strictly_within(z_sorted_, 0, pz, n_ - 1, zi, eps) - 1;
+  }
+  return digamma_int(nx + 1) + digamma_int(nz + 1);
+}
+
+void KsgWorkspace::psi_terms(std::size_t begin, std::size_t end,
+                             std::span<double> psi) const {
+  std::vector<double> kth(k_);
+  for (std::size_t p = begin; p < end; ++p) {
+    psi[orig_by_x_[p]] = psi_term_at(p, kth);
+  }
+}
+
+double KsgWorkspace::reduce(std::span<const double> psi) const {
+  double psi_sum = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) psi_sum += psi[i];
+  const double mi = digamma_int(k_) + digamma_int(n_) -
+                    psi_sum / static_cast<double>(n_);
   return std::max(mi, 0.0);
+}
+
+double mutual_information_ksg(std::span<const double> xs,
+                              std::span<const double> zs, unsigned k,
+                              AnalysisScratch& scratch) {
+  scratch.ksg.prepare(xs, zs, k);
+  scratch.psi.resize(scratch.ksg.size());
+  scratch.ksg.psi_terms(0, scratch.ksg.size(), scratch.psi);
+  return scratch.ksg.reduce(scratch.psi);
+}
+
+double mutual_information_ksg(std::span<const double> xs,
+                              std::span<const double> zs, unsigned k) {
+  AnalysisScratch scratch;
+  return mutual_information_ksg(xs, zs, k, scratch);
+}
+
+double leakage_from_delays(std::span<const double> creation_times,
+                           std::span<const double> delays, std::size_t bins,
+                           AnalysisScratch& scratch) {
+  if (creation_times.size() != delays.size()) {
+    throw std::invalid_argument("leakage_from_delays: size mismatch");
+  }
+  std::vector<double>& arrivals = scratch.values;
+  arrivals.resize(creation_times.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i] = creation_times[i] + delays[i];
+  }
+  return mutual_information_histogram(creation_times, arrivals, bins, scratch);
 }
 
 double leakage_from_delays(std::span<const double> creation_times,
                            std::span<const double> delays, std::size_t bins) {
-  if (creation_times.size() != delays.size()) {
-    throw std::invalid_argument("leakage_from_delays: size mismatch");
-  }
-  std::vector<double> arrivals(creation_times.size());
-  for (std::size_t i = 0; i < arrivals.size(); ++i) {
-    arrivals[i] = creation_times[i] + delays[i];
-  }
-  return mutual_information_histogram(creation_times, arrivals, bins);
+  AnalysisScratch scratch;
+  return leakage_from_delays(creation_times, delays, bins, scratch);
 }
 
 }  // namespace tempriv::infotheory

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+namespace tempriv::infotheory::reference {
+
+/// Retained brute-force reference implementations of the k-NN estimators.
+///
+/// These are the original O(n²)-scan estimators the sort-based fast paths
+/// in estimators.h replaced. They stay in the tree as executable
+/// specifications: the property tests assert the fast paths return
+/// *bit-identical* results on randomized corpora (including exact
+/// duplicates and tied max-norm distances), and the analysis
+/// microbenchmarks measure the speedup against them. Do not use them in
+/// sweep loops.
+
+/// KSG algorithm 1 with a full O(n²) pairwise max-norm scan per point.
+double mutual_information_ksg_brute(std::span<const double> xs,
+                                    std::span<const double> zs,
+                                    unsigned k = 3);
+
+/// Kozachenko–Leonenko entropy with a full O(n) distance scan per point
+/// (O(n²) total). Iterates points in sorted order — the same summation
+/// order as the fast path — so agreement is exact, not just close.
+double entropy_knn_brute(std::span<const double> samples, unsigned k = 3);
+
+}  // namespace tempriv::infotheory::reference
