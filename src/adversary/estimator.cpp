@@ -13,10 +13,7 @@ void Adversary::on_delivery(const net::Packet& packet, sim::Time arrival) {
   ++obs.packets;
   obs.last_arrival = arrival;
   obs.hop_count = packet.header.hop_count;
-  obs.recent_arrivals.push_back(arrival);
-  if (obs.recent_arrivals.size() > FlowObservation::kRateWindow) {
-    obs.recent_arrivals.pop_front();
-  }
+  obs.push_arrival(arrival);
 
   Estimate est;
   est.uid = packet.uid;

@@ -1,7 +1,7 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <vector>
 
@@ -50,11 +50,26 @@ class Adversary : public net::SinkObserver {
     double first_arrival = 0.0;
     double last_arrival = 0.0;
     std::uint16_t hop_count = 0;  ///< from the cleartext header
-    /// Recent arrival times (bounded by kRateWindow) for the windowed
-    /// rate estimate; startup and drain transients age out of it.
-    std::deque<double> recent_arrivals;
 
     static constexpr std::size_t kRateWindow = 64;
+
+    /// Recent arrival times (bounded by kRateWindow) for the windowed
+    /// rate estimate; startup and drain transients age out of it. Stored
+    /// in a fixed ring so the per-delivery update never allocates — the
+    /// adaptive adversary runs this on every delivered packet.
+    std::array<double, kRateWindow> recent_arrivals{};
+    std::size_t recent_head = 0;   ///< index of the oldest arrival
+    std::size_t recent_count = 0;  ///< arrivals currently in the window
+
+    void push_arrival(double arrival) noexcept {
+      if (recent_count < kRateWindow) {
+        recent_arrivals[(recent_head + recent_count) % kRateWindow] = arrival;
+        ++recent_count;
+      } else {
+        recent_arrivals[recent_head] = arrival;
+        recent_head = (recent_head + 1) % kRateWindow;
+      }
+    }
 
     /// Arrival-rate estimate over the whole observation: (m−1)/(z_m − z_1);
     /// 0 until two packets have been seen.
@@ -68,10 +83,12 @@ class Adversary : public net::SinkObserver {
     /// "adapts his estimation of the delays depending on the observed rate
     /// of incoming traffic at the sink".
     double rate_estimate() const noexcept {
-      if (recent_arrivals.size() < 2) return rate_estimate_cumulative();
-      const double span = recent_arrivals.back() - recent_arrivals.front();
+      if (recent_count < 2) return rate_estimate_cumulative();
+      const double newest =
+          recent_arrivals[(recent_head + recent_count - 1) % kRateWindow];
+      const double span = newest - recent_arrivals[recent_head];
       if (span <= 0.0) return rate_estimate_cumulative();
-      return static_cast<double>(recent_arrivals.size() - 1) / span;
+      return static_cast<double>(recent_count - 1) / span;
     }
   };
 

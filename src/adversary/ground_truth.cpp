@@ -16,7 +16,9 @@ void GroundTruthRecorder::on_delivery(const net::Packet& packet,
   record.creation = payload->creation_time;
   record.arrival = arrival;
   record.app_seq = payload->app_seq;
+  if (packet.uid >= records_.size()) records_.resize(packet.uid + 1);
   records_[packet.uid] = record;
+  ++delivered_;
 
   const double lat = arrival - payload->creation_time;
   latency_[packet.header.origin].add(lat);
@@ -25,8 +27,10 @@ void GroundTruthRecorder::on_delivery(const net::Packet& packet,
 
 const GroundTruthRecorder::Record* GroundTruthRecorder::find(
     std::uint64_t uid) const {
-  const auto it = records_.find(uid);
-  return it == records_.end() ? nullptr : &it->second;
+  if (uid >= records_.size() || records_[uid].flow == net::kInvalidNode) {
+    return nullptr;
+  }
+  return &records_[uid];
 }
 
 const metrics::StreamingStats& GroundTruthRecorder::latency(

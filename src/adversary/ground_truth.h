@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
+#include <vector>
 
 #include "adversary/estimator.h"
 #include "crypto/payload.h"
@@ -39,7 +39,7 @@ class GroundTruthRecorder final : public net::SinkObserver {
   void on_delivery(const net::Packet& packet, sim::Time arrival) override;
 
   const Record* find(std::uint64_t uid) const;
-  std::size_t delivered() const noexcept { return records_.size(); }
+  std::size_t delivered() const noexcept { return delivered_; }
 
   /// End-to-end delivery latency (creation → sink) for one flow.
   const metrics::StreamingStats& latency(net::NodeId flow) const;
@@ -64,9 +64,13 @@ class GroundTruthRecorder final : public net::SinkObserver {
       const std::vector<Estimate>& estimates) const;
 
  private:
-
   const crypto::PayloadCodec& codec_;
-  std::unordered_map<std::uint64_t, Record> records_;
+  /// Flat, uid-indexed (packet uids are dense): one bounds check + one
+  /// store per delivery instead of a hash insert, and uid-joined scoring
+  /// reads straight out of the table. A Record with flow == kInvalidNode
+  /// marks a uid never delivered.
+  std::vector<Record> records_;
+  std::size_t delivered_ = 0;
   std::map<net::NodeId, metrics::StreamingStats> latency_;
   metrics::StreamingStats total_latency_;
 };

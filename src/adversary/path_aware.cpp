@@ -20,24 +20,36 @@ PathAwareAdversary::PathAwareAdversary(const Config& config,
   if (config.loss_threshold <= 0.0 || config.loss_threshold >= 1.0) {
     throw std::invalid_argument("PathAwareAdversary: threshold outside (0,1)");
   }
+  path_cache_.resize(topology.node_count());
+  path_cached_.assign(topology.node_count(), 0);
+  rates_.assign(topology.node_count(), 0.0);
 }
 
 const std::vector<net::NodeId>& PathAwareAdversary::path_of(net::NodeId flow) {
-  const auto it = path_cache_.find(flow);
-  if (it != path_cache_.end()) return it->second;
-  return path_cache_.emplace(flow, routing_.path_to_sink(flow)).first->second;
+  if (flow >= path_cache_.size()) {
+    // Out-of-topology flow: delegate to the routing table, which throws the
+    // same std::out_of_range the uncached lookup always did.
+    return path_cache_.emplace_back(routing_.path_to_sink(flow));
+  }
+  if (!path_cached_[flow]) {
+    path_cache_[flow] = routing_.path_to_sink(flow);
+    path_cached_[flow] = 1;
+  }
+  return path_cache_[flow];
 }
 
-std::map<net::NodeId, double> PathAwareAdversary::node_rates() {
-  std::map<net::NodeId, double> rates;
+void PathAwareAdversary::accumulate_node_rates() {
+  // flow_observations() iterates flows in ascending origin order, so every
+  // per-node sum adds the same operands in the same order as the map-based
+  // implementation did — the attribution is bit-identical.
+  std::fill(rates_.begin(), rates_.end(), 0.0);
   for (const auto& [flow, obs] : flow_observations()) {
     const double rate = obs.rate_estimate();
     if (rate <= 0.0) continue;
     for (const net::NodeId node : path_of(flow)) {
-      if (node != topology_.sink()) rates[node] += rate;
+      if (node != topology_.sink()) rates_[node] += rate;
     }
   }
-  return rates;
 }
 
 double PathAwareAdversary::estimate_creation(const net::RoutingHeader& header,
@@ -56,20 +68,20 @@ double PathAwareAdversary::estimate_creation(const net::RoutingHeader& header,
     return arrival - h * (config_.hop_tx_delay + config_.mean_delay_per_hop);
   }
 
-  const std::map<net::NodeId, double> rates = node_rates();
+  accumulate_node_rates();
   double total_delay = 0.0;
   for (const net::NodeId node : path_of(header.origin)) {
     if (node == topology_.sink()) continue;
     total_delay += config_.hop_tx_delay;
     double node_delay = config_.mean_delay_per_hop;
-    const auto it = rates.find(node);
-    if (it != rates.end() && it->second > 0.0) {
-      const double rho = it->second / mu;
+    const double rate = rates_[node];
+    if (rate > 0.0) {
+      const double rho = rate / mu;
       if (queueing::erlang_loss(rho, config_.buffer_slots) >
           config_.loss_threshold) {
         node_delay = std::min(
             config_.mean_delay_per_hop,
-            static_cast<double>(config_.buffer_slots) / it->second);
+            static_cast<double>(config_.buffer_slots) / rate);
       }
     }
     total_delay += node_delay;

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "adversary/estimator.h"
@@ -47,13 +46,19 @@ class PathAwareAdversary final : public Adversary {
  private:
   const std::vector<net::NodeId>& path_of(net::NodeId flow);
 
-  /// Current per-node rate attribution from the observed flow rates.
-  std::map<net::NodeId, double> node_rates() ;
+  /// Recomputes the per-node rate attribution from the observed flow rates
+  /// into rates_. All per-delivery state is flat and node-indexed (rates,
+  /// path cache) and reused across calls: the previous implementation built
+  /// a fresh std::map per delivered packet, which dominated the adversary's
+  /// cost on long runs.
+  void accumulate_node_rates();
 
   Config config_;
   const net::Topology& topology_;
   const net::RoutingTable& routing_;
-  std::map<net::NodeId, std::vector<net::NodeId>> path_cache_;
+  std::vector<std::vector<net::NodeId>> path_cache_;  // index = flow origin
+  std::vector<char> path_cached_;
+  std::vector<double> rates_;  // index = NodeId; rebuilt per estimate
 };
 
 }  // namespace tempriv::adversary

@@ -30,7 +30,9 @@ void JsonlSink::consume(const JobResult& job) {
       << ",\"preemptions\":" << r.preemptions << ",\"drops\":" << r.drops
       << ",\"mean_latency_all\":" << json_number(r.mean_latency_all)
       << ",\"sim_end_time\":" << json_number(r.sim_end_time)
-      << ",\"events_executed\":" << r.events_executed << ",\"flows\":[";
+      << ",\"events_executed\":" << r.events_executed
+      << ",\"transmissions\":" << r.transmissions
+      << ",\"packets_traced\":" << r.packets_traced << ",\"flows\":[";
   for (std::size_t i = 0; i < r.flows.size(); ++i) {
     const workload::FlowResult& flow = r.flows[i];
     if (i > 0) os_ << ",";

@@ -1,63 +1,108 @@
 #include "crypto/ctr.h"
 
-#include <cstring>
-
 namespace tempriv::crypto {
 
 namespace {
 
-Speck64_128::Block to_block(std::uint64_t v) noexcept {
-  Speck64_128::Block b;
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    b[i] = static_cast<std::uint8_t>(v >> (8 * i));
-  }
-  return b;
-}
-
-std::uint64_t from_block(const Speck64_128::Block& b) noexcept {
+/// Little-endian load/store of up to 8 bytes — the only memory traffic on
+/// the CTR path; everything between is register arithmetic.
+std::uint64_t load_le(const std::uint8_t* p, std::size_t n) noexcept {
   std::uint64_t v = 0;
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   }
   return v;
 }
 
+void store_le(std::uint8_t* p, std::uint64_t v, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
 }  // namespace
 
-void CtrCipher::crypt(std::uint64_t nonce, std::span<std::uint8_t> data) const noexcept {
+std::uint64_t CtrCipher::keystream_word(std::uint64_t nonce,
+                                        std::uint64_t counter) const noexcept {
+  // Same convention as Speck64_128::encrypt_block over the little-endian
+  // block bytes of (nonce ^ counter): y is the low word, x the high word.
+  const std::uint64_t v = nonce ^ counter;
+  std::uint32_t y = static_cast<std::uint32_t>(v);
+  std::uint32_t x = static_cast<std::uint32_t>(v >> 32);
+  cipher_.encrypt_words(x, y);
+  return static_cast<std::uint64_t>(y) | (static_cast<std::uint64_t>(x) << 32);
+}
+
+void CtrCipher::crypt(std::uint64_t nonce,
+                      std::span<std::uint8_t> data) const noexcept {
+  crypt_into(nonce, data, data);
+}
+
+void CtrCipher::crypt_into(std::uint64_t nonce,
+                           std::span<const std::uint8_t> in,
+                           std::span<std::uint8_t> out) const noexcept {
   std::uint64_t counter = 0;
   std::size_t offset = 0;
-  while (offset < data.size()) {
-    Speck64_128::Block keystream = to_block(nonce ^ counter);
-    cipher_.encrypt_block(keystream);
-    const std::size_t chunk =
-        std::min(Speck64_128::kBlockBytes, data.size() - offset);
-    for (std::size_t i = 0; i < chunk; ++i) data[offset + i] ^= keystream[i];
-    offset += chunk;
+  // Batched whole-block walk: one keystream word per 8 input bytes.
+  while (in.size() - offset >= Speck64_128::kBlockBytes) {
+    const std::uint64_t word =
+        load_le(in.data() + offset, Speck64_128::kBlockBytes) ^
+        keystream_word(nonce, counter);
+    store_le(out.data() + offset, word, Speck64_128::kBlockBytes);
+    offset += Speck64_128::kBlockBytes;
     ++counter;
+  }
+  if (const std::size_t tail = in.size() - offset; tail > 0) {
+    const std::uint64_t word =
+        load_le(in.data() + offset, tail) ^ keystream_word(nonce, counter);
+    store_le(out.data() + offset, word, tail);
+  }
+}
+
+void CtrCipher::keystream(std::uint64_t nonce,
+                          std::span<std::uint8_t> out) const noexcept {
+  std::uint64_t counter = 0;
+  std::size_t offset = 0;
+  while (out.size() - offset >= Speck64_128::kBlockBytes) {
+    store_le(out.data() + offset, keystream_word(nonce, counter),
+             Speck64_128::kBlockBytes);
+    offset += Speck64_128::kBlockBytes;
+    ++counter;
+  }
+  if (const std::size_t tail = out.size() - offset; tail > 0) {
+    store_le(out.data() + offset, keystream_word(nonce, counter), tail);
   }
 }
 
 std::vector<std::uint8_t> CtrCipher::crypt_copy(
     std::uint64_t nonce, std::span<const std::uint8_t> data) const {
-  std::vector<std::uint8_t> out(data.begin(), data.end());
-  crypt(nonce, out);
+  std::vector<std::uint8_t> out(data.size());
+  crypt_into(nonce, data, out);
   return out;
 }
 
 std::uint64_t CbcMac::tag(std::span<const std::uint8_t> data) const noexcept {
   // Block 0 encodes the length; then CBC-chain the zero-padded message.
-  Speck64_128::Block state = to_block(static_cast<std::uint64_t>(data.size()));
-  cipher_.encrypt_block(state);
+  // The whole chain lives in the (x, y) register pair: XOR-ing the next
+  // message word into the little-endian state word is exactly the byte-wise
+  // XOR the definition prescribes.
+  std::uint64_t state = static_cast<std::uint64_t>(data.size());
+  std::uint32_t y = static_cast<std::uint32_t>(state);
+  std::uint32_t x = static_cast<std::uint32_t>(state >> 32);
+  cipher_.encrypt_words(x, y);
   std::size_t offset = 0;
   while (offset < data.size()) {
     const std::size_t chunk =
-        std::min(Speck64_128::kBlockBytes, data.size() - offset);
-    for (std::size_t i = 0; i < chunk; ++i) state[i] ^= data[offset + i];
-    cipher_.encrypt_block(state);
+        data.size() - offset >= Speck64_128::kBlockBytes
+            ? Speck64_128::kBlockBytes
+            : data.size() - offset;
+    const std::uint64_t word = load_le(data.data() + offset, chunk);
+    y ^= static_cast<std::uint32_t>(word);
+    x ^= static_cast<std::uint32_t>(word >> 32);
+    cipher_.encrypt_words(x, y);
     offset += chunk;
   }
-  return from_block(state);
+  return static_cast<std::uint64_t>(y) | (static_cast<std::uint64_t>(x) << 32);
 }
 
 }  // namespace tempriv::crypto

@@ -15,6 +15,12 @@ namespace tempriv::crypto {
 /// origin id + application sequence number mixed through SplitMix-style
 /// constants) keeps (nonce, i) pairs unique. CTR is symmetric: encrypt and
 /// decrypt are the same operation.
+///
+/// Every operation generates the keystream block-by-block in registers (a
+/// batched multi-block walk over the span) and writes results into storage
+/// the caller provides — no heap allocations, no intermediate buffers. The
+/// packet path uses crypt_into() with stack/inline destinations;
+/// crypt_copy() remains as an allocating convenience for tests and tools.
 class CtrCipher {
  public:
   explicit CtrCipher(const Speck64_128::Key& key) noexcept : cipher_(key) {}
@@ -22,11 +28,27 @@ class CtrCipher {
   /// XORs the keystream for (nonce) into `data` in place.
   void crypt(std::uint64_t nonce, std::span<std::uint8_t> data) const noexcept;
 
-  /// Convenience: returns an encrypted/decrypted copy.
+  /// Encrypts/decrypts `in` into caller-provided `out` storage (the two may
+  /// alias exactly, but must not partially overlap). `out` must be at least
+  /// `in.size()` bytes; only the first `in.size()` are written.
+  void crypt_into(std::uint64_t nonce, std::span<const std::uint8_t> in,
+                  std::span<std::uint8_t> out) const noexcept;
+
+  /// Writes raw keystream bytes for (nonce) into caller-provided storage —
+  /// the batched multi-block path: whole blocks are produced per iteration
+  /// with no per-block temporaries.
+  void keystream(std::uint64_t nonce,
+                 std::span<std::uint8_t> out) const noexcept;
+
+  /// Convenience: returns an encrypted/decrypted copy (allocates).
   std::vector<std::uint8_t> crypt_copy(std::uint64_t nonce,
                                        std::span<const std::uint8_t> data) const;
 
  private:
+  /// Keystream block i as a little-endian 64-bit word.
+  std::uint64_t keystream_word(std::uint64_t nonce,
+                               std::uint64_t counter) const noexcept;
+
   Speck64_128 cipher_;
 };
 
@@ -34,7 +56,8 @@ class CtrCipher {
 ///
 /// The message length (in bytes) is encrypted as block zero, which closes
 /// the classic variable-length CBC-MAC forgery; zero padding completes the
-/// final block. Use a key independent from the CTR key.
+/// final block. Use a key independent from the CTR key. The chaining state
+/// is two registers end to end — no temporaries, no allocation.
 class CbcMac {
  public:
   explicit CbcMac(const Speck64_128::Key& key) noexcept : cipher_(key) {}

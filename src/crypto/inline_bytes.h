@@ -1,0 +1,104 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+namespace tempriv::crypto {
+
+/// A fixed-capacity inline byte buffer: vector-like interface, zero heap.
+///
+/// SealedPayload used to carry its ciphertext in a std::vector, which made
+/// every net::Packet drag one heap allocation (and a pointer chase) through
+/// every store-and-forward hop. Sensor payloads serialize to a known fixed
+/// size, so the bytes live directly inside the struct: InlineBytes is
+/// trivially copyable, which makes SealedPayload — and with it net::Packet —
+/// a flat POD the network can move through pools, buffers, and event
+/// captures with plain memcpys.
+///
+/// Out-of-capacity resize/push_back throws std::length_error: the capacity
+/// is a wire-format invariant, not a growth hint.
+template <std::size_t Capacity>
+class InlineBytes {
+  static_assert(Capacity > 0 && Capacity <= 0xff,
+                "InlineBytes: capacity must fit the 1-byte size field");
+
+ public:
+  using value_type = std::uint8_t;
+
+  constexpr InlineBytes() noexcept = default;
+
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr std::uint8_t* data() noexcept { return bytes_.data(); }
+  constexpr const std::uint8_t* data() const noexcept { return bytes_.data(); }
+
+  constexpr std::uint8_t* begin() noexcept { return bytes_.data(); }
+  constexpr std::uint8_t* end() noexcept { return bytes_.data() + size_; }
+  constexpr const std::uint8_t* begin() const noexcept { return bytes_.data(); }
+  constexpr const std::uint8_t* end() const noexcept {
+    return bytes_.data() + size_;
+  }
+
+  constexpr std::uint8_t& operator[](std::size_t i) noexcept {
+    return bytes_[i];
+  }
+  constexpr std::uint8_t operator[](std::size_t i) const noexcept {
+    return bytes_[i];
+  }
+
+  /// Mutable/read-only views of the live bytes.
+  constexpr std::span<std::uint8_t> bytes() noexcept {
+    return {bytes_.data(), size_};
+  }
+  constexpr std::span<const std::uint8_t> bytes() const noexcept {
+    return {bytes_.data(), size_};
+  }
+
+  /// Sets the live size; new bytes (on growth) are zero.
+  constexpr void resize(std::size_t n) {
+    if (n > Capacity) {
+      throw std::length_error("InlineBytes::resize: beyond fixed capacity");
+    }
+    for (std::size_t i = size_; i < n; ++i) bytes_[i] = 0;
+    size_ = static_cast<std::uint8_t>(n);
+  }
+
+  constexpr void clear() noexcept { size_ = 0; }
+
+  constexpr void push_back(std::uint8_t b) {
+    if (size_ >= Capacity) {
+      throw std::length_error("InlineBytes::push_back: buffer full");
+    }
+    bytes_[size_++] = b;
+  }
+
+  constexpr void assign(std::span<const std::uint8_t> src) {
+    if (src.size() > Capacity) {
+      throw std::length_error("InlineBytes::assign: beyond fixed capacity");
+    }
+    for (std::size_t i = 0; i < src.size(); ++i) bytes_[i] = src[i];
+    size_ = static_cast<std::uint8_t>(src.size());
+  }
+
+  friend constexpr bool operator==(const InlineBytes& a,
+                                   const InlineBytes& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.bytes_[i] != b.bytes_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  // Size first: the byte array needs no alignment, so the struct packs to
+  // Capacity + 1 bytes (plus enclosing-struct padding only).
+  std::uint8_t size_ = 0;
+  std::array<std::uint8_t, Capacity> bytes_{};
+};
+
+}  // namespace tempriv::crypto

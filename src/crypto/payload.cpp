@@ -7,23 +7,21 @@ namespace tempriv::crypto {
 
 namespace {
 
-constexpr std::size_t kPayloadBytes = 8 + 4 + 8;  // reading, seq, timestamp
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+void put_u64(std::uint8_t* out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+void put_u32(std::uint8_t* out, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
-std::uint64_t get_u64(const std::uint8_t* p) {
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   return v;
 }
 
-std::uint32_t get_u32(const std::uint8_t* p) {
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
   return v;
@@ -49,32 +47,35 @@ PayloadCodec::PayloadCodec(const Speck64_128::Key& master_key) noexcept
     : ctr_(derive_subkey(master_key, 0x01)), mac_(derive_subkey(master_key, 0x02)) {}
 
 SealedPayload PayloadCodec::seal(const SensorPayload& payload,
-                                 std::uint32_t origin_id) const {
-  std::vector<std::uint8_t> plain;
-  plain.reserve(kPayloadBytes);
+                                 std::uint32_t origin_id) const noexcept {
+  // Serialize into a stack buffer, encrypt straight into the sealed
+  // payload's inline storage, MAC the result — zero heap traffic.
+  std::uint8_t plain[SensorPayload::kWireBytes];
   put_u64(plain, std::bit_cast<std::uint64_t>(payload.reading));
-  put_u32(plain, payload.app_seq);
-  put_u64(plain, std::bit_cast<std::uint64_t>(payload.creation_time));
+  put_u32(plain + 8, payload.app_seq);
+  put_u64(plain + 12, std::bit_cast<std::uint64_t>(payload.creation_time));
 
   SealedPayload sealed;
   // (origin, app_seq) is unique per packet; golden-ratio mixing spreads the
   // pair over the 64-bit nonce space.
   sealed.nonce = (static_cast<std::uint64_t>(origin_id) << 32 | payload.app_seq) *
                  0x9e3779b97f4a7c15ULL;
-  sealed.ciphertext = ctr_.crypt_copy(sealed.nonce, plain);
-  sealed.tag = mac_.tag(sealed.ciphertext);
+  sealed.ciphertext.resize(SensorPayload::kWireBytes);
+  ctr_.crypt_into(sealed.nonce, plain, sealed.ciphertext.bytes());
+  sealed.tag = mac_.tag(sealed.ciphertext.bytes());
   return sealed;
 }
 
-std::optional<SensorPayload> PayloadCodec::open(const SealedPayload& sealed) const {
-  if (sealed.ciphertext.size() != kPayloadBytes) return std::nullopt;
-  if (!mac_.verify(sealed.ciphertext, sealed.tag)) return std::nullopt;
-  const std::vector<std::uint8_t> plain =
-      ctr_.crypt_copy(sealed.nonce, sealed.ciphertext);
+std::optional<SensorPayload> PayloadCodec::open(
+    const SealedPayload& sealed) const noexcept {
+  if (sealed.ciphertext.size() != SensorPayload::kWireBytes) return std::nullopt;
+  if (!mac_.verify(sealed.ciphertext.bytes(), sealed.tag)) return std::nullopt;
+  std::uint8_t plain[SensorPayload::kWireBytes];
+  ctr_.crypt_into(sealed.nonce, sealed.ciphertext.bytes(), plain);
   SensorPayload payload;
-  payload.reading = std::bit_cast<double>(get_u64(plain.data()));
-  payload.app_seq = get_u32(plain.data() + 8);
-  payload.creation_time = std::bit_cast<double>(get_u64(plain.data() + 12));
+  payload.reading = std::bit_cast<double>(get_u64(plain));
+  payload.app_seq = get_u32(plain + 8);
+  payload.creation_time = std::bit_cast<double>(get_u64(plain + 12));
   return payload;
 }
 

@@ -4,11 +4,11 @@ namespace tempriv::crypto {
 
 namespace {
 
-constexpr std::uint32_t ror(std::uint32_t x, int r) noexcept {
-  return (x >> r) | (x << (32 - r));
+constexpr std::uint32_t ror8(std::uint32_t x) noexcept {
+  return (x >> 8) | (x << 24);
 }
-constexpr std::uint32_t rol(std::uint32_t x, int r) noexcept {
-  return (x << r) | (x >> (32 - r));
+constexpr std::uint32_t rol3(std::uint32_t x) noexcept {
+  return (x << 3) | (x >> 29);
 }
 
 constexpr std::uint32_t load_le32(const std::uint8_t* p) noexcept {
@@ -25,19 +25,6 @@ constexpr void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
   p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
-// One Speck round: (x, y) <- ((ror(x,8) + y) ^ k, rol(y,3) ^ new_x).
-constexpr void round_enc(std::uint32_t& x, std::uint32_t& y,
-                         std::uint32_t k) noexcept {
-  x = (ror(x, 8) + y) ^ k;
-  y = rol(y, 3) ^ x;
-}
-
-constexpr void round_dec(std::uint32_t& x, std::uint32_t& y,
-                         std::uint32_t k) noexcept {
-  y = ror(y ^ x, 3);
-  x = rol((x ^ k) - y, 8);
-}
-
 }  // namespace
 
 Speck64_128::Speck64_128(const Key& key) noexcept {
@@ -51,17 +38,9 @@ Speck64_128::Speck64_128(const Key& key) noexcept {
 
   round_keys_[0] = k0;
   for (int i = 0; i < kRounds - 1; ++i) {
-    l[i + 3] = (round_keys_[i] + ror(l[i], 8)) ^ static_cast<std::uint32_t>(i);
-    round_keys_[i + 1] = rol(round_keys_[i], 3) ^ l[i + 3];
+    l[i + 3] = (round_keys_[i] + ror8(l[i])) ^ static_cast<std::uint32_t>(i);
+    round_keys_[i + 1] = rol3(round_keys_[i]) ^ l[i + 3];
   }
-}
-
-void Speck64_128::encrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept {
-  for (int i = 0; i < kRounds; ++i) round_enc(x, y, round_keys_[i]);
-}
-
-void Speck64_128::decrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept {
-  for (int i = kRounds - 1; i >= 0; --i) round_dec(x, y, round_keys_[i]);
 }
 
 void Speck64_128::encrypt_block(Block& block) const noexcept {

@@ -10,6 +10,11 @@ namespace tempriv::crypto {
 /// of constrained devices the paper targets (sensor motes), which is why we
 /// use it as the payload-confidentiality substrate. The implementation is
 /// the reference ARX description — no table lookups, constant-time.
+///
+/// The word-level round functions live in the header: every sealed/opened
+/// payload costs 14 block operations (CTR keystream + CBC-MAC on both
+/// sides), so the round loop is the single hottest function in a full
+/// scenario run and must inline into the modes' batch loops.
 class Speck64_128 {
  public:
   static constexpr std::size_t kBlockBytes = 8;
@@ -28,11 +33,29 @@ class Speck64_128 {
   /// Decrypts one 64-bit block in place.
   void decrypt_block(Block& block) const noexcept;
 
-  /// Word-level API used by the modes below.
-  void encrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept;
-  void decrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept;
+  /// Word-level API used by the modes (ctr.h): one ARX round per key word.
+  void encrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept {
+    for (const std::uint32_t k : round_keys_) {
+      x = (ror(x, 8) + y) ^ k;
+      y = rol(y, 3) ^ x;
+    }
+  }
+
+  void decrypt_words(std::uint32_t& x, std::uint32_t& y) const noexcept {
+    for (int i = kRounds - 1; i >= 0; --i) {
+      y = ror(y ^ x, 3);
+      x = rol((x ^ round_keys_[i]) - y, 8);
+    }
+  }
 
  private:
+  static constexpr std::uint32_t ror(std::uint32_t v, int r) noexcept {
+    return (v >> r) | (v << (32 - r));
+  }
+  static constexpr std::uint32_t rol(std::uint32_t v, int r) noexcept {
+    return (v << r) | (v >> (32 - r));
+  }
+
   std::array<std::uint32_t, kRounds> round_keys_{};
 };
 

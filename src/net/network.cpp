@@ -32,17 +32,20 @@ class Network::NodeShell final : public NodeContext {
     packet.header.hop_count =
         static_cast<std::uint16_t>(packet.header.hop_count + 1);
     packet.header.routing_seq = routing_seq_++;
-    for (const TransmitProbe& probe : net_.transmit_probes_) {
-      probe(id_, next, packet, net_.simulator_.now());
+    if (!net_.transmit_probes_.empty()) [[unlikely]] {
+      net_.dispatch_transmit_probes(id_, next, packet);
     }
     double link_delay = net_.config_.hop_tx_delay;
     if (net_.config_.hop_jitter > 0.0) {
       link_delay += rng_.uniform(0.0, net_.config_.hop_jitter);
     }
-    net_.simulator_.schedule_after(
-        link_delay, [&net = net_, next, moved = std::move(packet)]() mutable {
-          net.arrive(next, std::move(moved));
-        });
+    // Park the packet in the pool so the link-delay closure carries only a
+    // 16-byte {network, handle} pair — inside the event kernel's inline
+    // budget, so a warm forward never touches the heap.
+    const PacketPool::Handle handle = net_.pool_.put(std::move(packet));
+    net_.simulator_.schedule_after(link_delay, [&net = net_, next, handle] {
+      net.arrive_from_link(next, handle);
+    });
     net_.probe(id_);
   }
 
@@ -96,11 +99,15 @@ std::uint64_t Network::originate(NodeId origin, crypto::SealedPayload payload) {
   packet.header.prev_hop = origin;
   packet.header.hop_count = 0;
   packet.payload = std::move(payload);
-  packet.uid = next_uid_++;
+  const std::uint64_t uid = next_uid_++;
+  packet.uid = uid;
   // The source's own discipline runs first: the source may buffer the packet
   // before its first transmission (the paper's Y0 term, §3.3).
   nodes_[origin]->handle(std::move(packet));
-  return next_uid_ - 1;
+  // Counted only after the discipline accepted the packet, so a handler that
+  // throws does not inflate the originated tally.
+  ++originated_;
+  return uid;
 }
 
 void Network::add_sink_observer(SinkObserver* observer) {
@@ -122,6 +129,8 @@ void Network::set_hop_selector(HopSelector selector) {
   hop_selector_ = std::move(selector);
 }
 
+void Network::reserve(std::size_t in_flight) { pool_.reserve(in_flight); }
+
 NodeId Network::pick_next_hop(NodeId current, const Packet& packet,
                               sim::RandomStream& rng) {
   if (!hop_selector_) return routing_.next_hop(current);
@@ -130,6 +139,14 @@ NodeId Network::pick_next_hop(NodeId current, const Packet& packet,
     throw std::logic_error("Network: hop selector returned a non-neighbor");
   }
   return next;
+}
+
+void Network::dispatch_transmit_probes(NodeId from, NodeId to,
+                                       const Packet& packet) {
+  const sim::Time now = simulator_.now();
+  for (TransmitProbe& probe : transmit_probes_) {
+    probe(from, to, packet, now);
+  }
 }
 
 const ForwardingDiscipline& Network::discipline(NodeId id) const {
@@ -149,6 +166,10 @@ void Network::arrive(NodeId node, Packet&& packet) {
         "Network: packet routed to a node with no route to the sink");
   }
   nodes_[node]->handle(std::move(packet));
+}
+
+void Network::arrive_from_link(NodeId node, PacketPool::Handle handle) {
+  arrive(node, pool_.take(handle));
 }
 
 void Network::deliver(const Packet& packet) {

@@ -6,8 +6,10 @@
 
 #include "net/forwarding.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/routing.h"
 #include "net/topology.h"
+#include "sim/inline_function.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -25,16 +27,24 @@ class SinkObserver {
 
 /// Optional instrumentation hook: called whenever a node's buffer occupancy
 /// may have changed (after every packet arrival and every transmission).
+///
+/// Probe and selector hooks are sim::InlineFunction delegates, not
+/// std::function: captures up to 48 bytes are stored inline (install-time
+/// and per-call heap traffic is zero), and when no hook is installed the
+/// per-transmission dispatch reduces to one branch on the hot path.
 using OccupancyProbe =
-    std::function<void(NodeId node, sim::Time now, std::size_t occupancy)>;
+    sim::InlineFunction<void(NodeId node, sim::Time now, std::size_t occupancy),
+                        48>;
 
 /// Optional instrumentation hook: called for every link-layer transmission,
 /// with the updated cleartext header, at the instant the packet is handed
 /// to the link (it reaches `to` one hop-tx-delay later). Useful for packet
 /// tracing and for modeling adversaries that eavesdrop inside the network
 /// rather than at the sink.
-using TransmitProbe = std::function<void(NodeId from, NodeId to,
-                                         const Packet& packet, sim::Time now)>;
+using TransmitProbe = sim::InlineFunction<void(NodeId from, NodeId to,
+                                               const Packet& packet,
+                                               sim::Time now),
+                                          48>;
 
 struct NetworkConfig {
   /// Constant per-hop transmission delay τ (paper §5.2 uses 1 time unit;
@@ -52,13 +62,21 @@ struct NetworkConfig {
 /// as phantom routing (random walk before tree routing, the paper's cited
 /// prior work on source-location privacy). Must return a neighbor of
 /// `current` in the topology.
-using HopSelector = std::function<NodeId(NodeId current, const Packet& packet,
-                                         sim::RandomStream& rng)>;
+using HopSelector = sim::InlineFunction<NodeId(NodeId current,
+                                               const Packet& packet,
+                                               sim::RandomStream& rng),
+                                        48>;
 
 /// The store-and-forward sensor network: topology + BFS routing tree +
 /// one ForwardingDiscipline per non-sink node, driven by the simulation
 /// kernel. Packets are injected at source nodes via originate() and
 /// surface at the sink via SinkObserver callbacks.
+///
+/// The forwarding path is allocation-free in steady state: packets are flat
+/// PODs, link traversals park them in a free-listed PacketPool and schedule
+/// a 16-byte {network, handle} closure (inline in the event kernel), and
+/// per-node buffering stores them in the disciplines' slot pools. See the
+/// packet-path allocation test and bench/micro_packet_path.cpp.
 class Network {
  public:
   /// Throws std::invalid_argument if the topology is missing a sink or if
@@ -80,7 +98,7 @@ class Network {
   /// Registers a sink observer (non-owning; must outlive the run).
   void add_sink_observer(SinkObserver* observer);
 
-  /// Installs an occupancy probe (non-owning use; copied functor).
+  /// Installs an occupancy probe (non-owning use; the callable is moved in).
   void set_occupancy_probe(OccupancyProbe probe);
 
   /// Registers a transmit probe (see TransmitProbe); any number may be
@@ -92,6 +110,10 @@ class Network {
   /// the transmitting node or the transmission throws std::logic_error.
   void set_hop_selector(HopSelector selector);
 
+  /// Pre-sizes the in-flight packet pool for `in_flight` packets
+  /// simultaneously traversing links, so the steady state never reallocates.
+  void reserve(std::size_t in_flight);
+
   const Topology& topology() const noexcept { return topology_; }
   const RoutingTable& routing() const noexcept { return routing_; }
   sim::Simulator& simulator() noexcept { return simulator_; }
@@ -100,21 +122,30 @@ class Network {
   /// Discipline of a non-sink node (for stats: buffered/preemptions/drops).
   const ForwardingDiscipline& discipline(NodeId id) const;
 
-  /// Network-wide counters.
-  std::uint64_t packets_originated() const noexcept { return next_uid_; }
+  /// Network-wide counters. packets_originated counts only successfully
+  /// injected packets (an originate() that throws does not count).
+  std::uint64_t packets_originated() const noexcept { return originated_; }
   std::uint64_t packets_delivered() const noexcept { return delivered_; }
   std::uint64_t total_preemptions() const;
   std::uint64_t total_drops() const;
   std::size_t total_buffered() const;
 
+  /// Packets currently traversing a link (in the pool between transmit and
+  /// arrival).
+  std::size_t packets_in_flight() const noexcept { return pool_.in_flight(); }
+
  private:
   class NodeShell;  // NodeContext implementation, one per non-sink node
 
   void arrive(NodeId node, Packet&& packet);
+  void arrive_from_link(NodeId node, PacketPool::Handle handle);
   void deliver(const Packet& packet);
   void probe(NodeId node);
   NodeId pick_next_hop(NodeId current, const Packet& packet,
                        sim::RandomStream& rng);
+  /// Out of line so the common no-probe transmit path stays branch + fall
+  /// through; only instrumented runs pay the dispatch loop.
+  void dispatch_transmit_probes(NodeId from, NodeId to, const Packet& packet);
 
   sim::Simulator& simulator_;
   Topology topology_;
@@ -125,7 +156,9 @@ class Network {
   OccupancyProbe occupancy_probe_;
   std::vector<TransmitProbe> transmit_probes_;
   HopSelector hop_selector_;
+  PacketPool pool_;
   std::uint64_t next_uid_ = 0;
+  std::uint64_t originated_ = 0;
   std::uint64_t delivered_ = 0;
 };
 

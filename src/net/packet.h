@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "crypto/payload.h"
 
@@ -26,6 +27,11 @@ struct RoutingHeader {
 /// (encrypted + MACed) application payload. The creation time-stamp and
 /// application sequence number live *inside* the sealed payload, so nothing
 /// in this struct besides the header is intelligible to the adversary.
+///
+/// The sealed payload's ciphertext is stored inline (crypto::InlineBytes),
+/// so a Packet is a flat, trivially-copyable value: the forwarding path
+/// (slot pools, delay buffers, event captures) moves packets with plain
+/// memcpys and never allocates per packet.
 struct Packet {
   RoutingHeader header;
   crypto::SealedPayload payload;
@@ -33,5 +39,10 @@ struct Packet {
   /// such as matching deliveries to ground truth in test harnesses).
   std::uint64_t uid = 0;
 };
+
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "Packet must stay a flat POD: the zero-allocation packet path "
+              "(PacketPool, DelayBuffer slots, link-event captures) depends "
+              "on memcpy moves");
 
 }  // namespace tempriv::net

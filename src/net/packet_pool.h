@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace tempriv::net {
+
+/// Free-listed slot pool for packets in flight on a link.
+///
+/// Network::transmit used to capture the whole Packet inside the link-delay
+/// event closure; once the ciphertext moved inline that capture outgrew the
+/// event kernel's inline budget, so every hop would have paid one heap
+/// allocation again. Instead the packet parks here and the closure captures
+/// a 16-byte (network pointer + handle) pair — per the EventQueue slot-pool
+/// pattern from PR 2.
+///
+/// Handles carry the occupant's identity ({seq:40, slot:24}, same scheme as
+/// sim::EventId), so a stale handle — double take(), or a handle kept past
+/// its packet's arrival — can never alias the slot's next occupant:
+/// take() throws std::logic_error instead of handing back the wrong packet.
+/// In steady state (every slot visited once) put/take never allocate.
+class PacketPool {
+ public:
+  class Handle {
+   public:
+    constexpr Handle() noexcept = default;
+    constexpr explicit Handle(std::uint64_t value) noexcept : value_(value) {}
+
+    constexpr bool valid() const noexcept { return value_ != 0; }
+    constexpr std::uint64_t value() const noexcept { return value_; }
+
+    friend constexpr bool operator==(Handle, Handle) noexcept = default;
+
+   private:
+    std::uint64_t value_ = 0;
+  };
+
+  /// Parks a packet and returns its claim ticket.
+  /// Throws std::length_error beyond 2^24 concurrent in-flight packets.
+  Handle put(Packet&& packet) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.packet = packet;  // trivially-copyable: a memcpy
+    const std::uint64_t aux = (next_seq_++ << kSlotBits) | slot;
+    s.aux = aux;
+    ++live_count_;
+    return Handle(aux);
+  }
+
+  /// Redeems a handle exactly once; frees the slot.
+  Packet take(Handle handle) {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(handle.value() & (kMaxSlots - 1));
+    if (!handle.valid() || slot >= slots_.size() ||
+        slots_[slot].aux != handle.value()) {
+      throw std::logic_error("PacketPool::take: stale or invalid handle");
+    }
+    Slot& s = slots_[slot];
+    s.aux = 0;
+    s.next_free = free_head_;
+    free_head_ = slot;
+    --live_count_;
+    return s.packet;
+  }
+
+  /// Packets currently parked.
+  std::size_t in_flight() const noexcept { return live_count_; }
+
+  /// Slots ever created (capacity diagnostics).
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+
+  /// Pre-sizes the pool for `capacity` concurrent in-flight packets so the
+  /// steady state never reallocates.
+  void reserve(std::size_t capacity) { slots_.reserve(capacity); }
+
+ private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
+
+  struct Slot {
+    Packet packet;
+    std::uint64_t aux = 0;  // current occupant's identity; 0 = free
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      slots_[slot].next_free = kNilSlot;
+      return slot;
+    }
+    if (slots_.size() >= kMaxSlots) {
+      throw std::length_error("PacketPool: too many packets in flight");
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::uint64_t next_seq_ = 1;  // seq 0 reserved so Handle 0 is invalid
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace tempriv::net

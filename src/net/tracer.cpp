@@ -5,36 +5,76 @@ namespace tempriv::net {
 PacketTracer::PacketTracer(Network& network) : network_(network) {
   network.add_transmit_probe(
       [this](NodeId from, NodeId to, const Packet& packet, sim::Time now) {
-        ++transmissions_;
-        traces_[packet.uid].push_back(Hop{from, to, now});
+        record(packet.uid, Hop{from, to, now});
       });
 }
 
-const std::vector<PacketTracer::Hop>& PacketTracer::hops(
-    std::uint64_t uid) const {
-  const auto it = traces_.find(uid);
-  return it == traces_.end() ? empty_ : it->second;
+void PacketTracer::record(std::uint64_t uid, const Hop& hop) {
+  ++transmissions_;
+  if (uid >= refs_.size()) refs_.resize(uid + 1);
+  TraceRef& ref = refs_[uid];
+  const std::uint32_t node = static_cast<std::uint32_t>(arena_.size());
+  arena_.push_back(HopNode{hop, kNil});
+  if (ref.head == kNil) {
+    ref.head = node;
+    ++packets_traced_;
+  } else {
+    arena_[ref.tail].next = node;
+  }
+  ref.tail = node;
+  ++ref.count;
+}
+
+const PacketTracer::TraceRef* PacketTracer::find(
+    std::uint64_t uid) const noexcept {
+  if (uid >= refs_.size() || refs_[uid].head == kNil) return nullptr;
+  return &refs_[uid];
+}
+
+void PacketTracer::reserve(std::size_t packets, std::size_t total_hops) {
+  refs_.reserve(packets);
+  arena_.reserve(total_hops);
+}
+
+std::vector<PacketTracer::Hop> PacketTracer::hops(std::uint64_t uid) const {
+  std::vector<Hop> out;
+  const TraceRef* ref = find(uid);
+  if (ref == nullptr) return out;
+  out.reserve(ref->count);
+  for (std::uint32_t node = ref->head; node != kNil; node = arena_[node].next) {
+    out.push_back(arena_[node].hop);
+  }
+  return out;
 }
 
 std::vector<NodeId> PacketTracer::path(std::uint64_t uid) const {
   std::vector<NodeId> nodes;
-  const auto& trace = hops(uid);
-  for (const Hop& hop : trace) nodes.push_back(hop.from);
-  if (!trace.empty()) nodes.push_back(trace.back().to);
+  const TraceRef* ref = find(uid);
+  if (ref == nullptr) return nodes;
+  nodes.reserve(ref->count + 1);
+  std::uint32_t last = kNil;
+  for (std::uint32_t node = ref->head; node != kNil; node = arena_[node].next) {
+    nodes.push_back(arena_[node].hop.from);
+    last = node;
+  }
+  nodes.push_back(arena_[last].hop.to);
   return nodes;
 }
 
 std::vector<double> PacketTracer::holding_times(std::uint64_t uid) const {
   std::vector<double> times;
-  const auto& trace = hops(uid);
+  const TraceRef* ref = find(uid);
+  if (ref == nullptr) return times;
+  times.reserve(ref->count);
   const double tx = network_.hop_tx_delay();
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    // Arrival at trace[i].from: for the origin this is unknown to the
-    // tracer (creation happens above the link layer), so we report the
-    // origin's holding time relative to the first transmission minus
-    // nothing — callers treat element 0 as "time since first seen".
-    const double arrived = i == 0 ? trace[0].at : trace[i - 1].at + tx;
-    times.push_back(trace[i].at - arrived);
+  // Arrival at the first hop's transmitter: for the origin this is unknown
+  // to the tracer (creation happens above the link layer), so element 0 is
+  // "time since first seen" = 0 by construction, matching the old behavior.
+  double arrived = arena_[ref->head].hop.at;
+  for (std::uint32_t node = ref->head; node != kNil; node = arena_[node].next) {
+    const double at = arena_[node].hop.at;
+    times.push_back(at - arrived);
+    arrived = at + tx;
   }
   return times;
 }

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
@@ -14,18 +13,35 @@ namespace tempriv::net {
 ///
 /// Installs itself as a transmit probe (probes are additive, so a tracer
 /// coexists with other listeners). The tracer must outlive the run.
+///
+/// Storage is flat: packet uids are dense (Network assigns them 0,1,2,...),
+/// so per-packet trace heads live in a uid-indexed vector and the hops of
+/// all packets share one contiguous arena, chained per packet with indices.
+/// Recording a hop is an amortized push_back — no hashing, no per-packet
+/// node allocations — so tracing stays cheap enough to leave on in
+/// benchmarks that want journey data.
 class PacketTracer {
  public:
   struct Hop {
     NodeId from = kInvalidNode;
     NodeId to = kInvalidNode;
     double at = 0.0;  ///< instant the packet was handed to the link
+
+    friend bool operator==(const Hop&, const Hop&) = default;
   };
 
   explicit PacketTracer(Network& network);
 
+  // The installed probe captures `this`: the tracer must stay put.
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
   /// All hops of one packet in transmission order (empty if never seen).
-  const std::vector<Hop>& hops(std::uint64_t uid) const;
+  /// Returned by value: the tracer's internal storage is a shared arena
+  /// that reallocates as later packets are traced, so handing out a
+  /// reference would dangle (and the old shared-empty-vector return made
+  /// unknown uids alias each other).
+  std::vector<Hop> hops(std::uint64_t uid) const;
 
   /// The node sequence the packet visited: origin, ..., final receiver.
   std::vector<NodeId> path(std::uint64_t uid) const;
@@ -35,13 +51,34 @@ class PacketTracer {
   /// Element i corresponds to path()[i].
   std::vector<double> holding_times(std::uint64_t uid) const;
 
-  std::size_t packets_traced() const noexcept { return traces_.size(); }
+  /// Pre-sizes the per-uid table and the shared hop arena.
+  void reserve(std::size_t packets, std::size_t total_hops);
+
+  std::size_t packets_traced() const noexcept { return packets_traced_; }
   std::uint64_t transmissions() const noexcept { return transmissions_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Per-uid chain through the shared hop arena.
+  struct TraceRef {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t count = 0;
+  };
+
+  struct HopNode {
+    Hop hop;
+    std::uint32_t next = kNil;
+  };
+
+  void record(std::uint64_t uid, const Hop& hop);
+  const TraceRef* find(std::uint64_t uid) const noexcept;
+
   const Network& network_;
-  std::unordered_map<std::uint64_t, std::vector<Hop>> traces_;
-  std::vector<Hop> empty_;
+  std::vector<TraceRef> refs_;    // index = packet uid
+  std::vector<HopNode> arena_;    // hops of all packets, in record order
+  std::size_t packets_traced_ = 0;
   std::uint64_t transmissions_ = 0;
 };
 

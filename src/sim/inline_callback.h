@@ -1,126 +1,23 @@
 #pragma once
 
 #include <cstddef>
-#include <memory>
-#include <new>
-#include <type_traits>
-#include <utility>
+
+#include "sim/inline_function.h"
 
 namespace tempriv::sim {
 
-/// Move-only type-erased callable with a fixed inline buffer. Callables
-/// whose state fits in `Capacity` bytes (and is nothrow-movable) are stored
-/// in place — invoking, moving, and destroying them never touches the heap.
-/// Larger callables transparently fall back to a heap allocation so the API
-/// stays general, but every lambda the simulator schedules on its hot path
-/// is sized to stay inline (see the allocation-counter test).
+/// Move-only type-erased nullary callable with a fixed inline buffer — the
+/// storage type of the event kernel's slot pool. Callables whose state fits
+/// in `Capacity` bytes (and is nothrow-movable) are stored in place;
+/// invoking, moving, and destroying them never touches the heap, and every
+/// lambda the simulator schedules on its hot path is sized to stay inline
+/// (see the allocation-counter test). Larger callables transparently fall
+/// back to one heap allocation so the API stays general.
 ///
-/// This replaces std::function in the event kernel: std::function's small-
-/// buffer window (16 bytes on libstdc++) is too small for the capture lists
-/// the disciplines use, so the old kernel paid one heap allocation per
-/// scheduled event.
+/// This is the nullary case of sim::InlineFunction (inline_function.h),
+/// which generalizes the same storage scheme to arbitrary signatures for
+/// the network's probe/hop-selector delegates.
 template <std::size_t Capacity>
-class InlineCallback {
- public:
-  InlineCallback() noexcept = default;
-
-  template <class F,
-            class = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
-  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
-    emplace(std::forward<F>(fn));
-  }
-
-  /// Replaces the stored callable in place (no temporary InlineCallback,
-  /// no extra buffer move) — the hot path for EventQueue::schedule.
-  template <class F>
-  void emplace(F&& fn) {
-    reset();
-    using Decayed = std::decay_t<F>;
-    if constexpr (fits_inline<Decayed>()) {
-      ::new (static_cast<void*>(buf_)) Decayed(std::forward<F>(fn));
-      vtable_ = &kInlineVTable<Decayed>;
-    } else {
-      ::new (static_cast<void*>(buf_))
-          Decayed*(new Decayed(std::forward<F>(fn)));
-      vtable_ = &kHeapVTable<Decayed>;
-    }
-  }
-
-  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
-
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
-    if (this != &other) {
-      reset();
-      move_from(other);
-    }
-    return *this;
-  }
-
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
-
-  ~InlineCallback() { reset(); }
-
-  void operator()() { vtable_->invoke(buf_); }
-
-  explicit operator bool() const noexcept { return vtable_ != nullptr; }
-
-  /// Whether `F` would be stored without a heap allocation.
-  template <class F>
-  static constexpr bool fits_inline() noexcept {
-    return sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
-           std::is_nothrow_move_constructible_v<F>;
-  }
-
- private:
-  struct VTable {
-    void (*invoke)(void* buf);
-    void (*move_to)(void* src_buf, void* dst_buf) noexcept;
-    void (*destroy)(void* buf) noexcept;
-  };
-
-  template <class F>
-  static constexpr VTable kInlineVTable{
-      [](void* buf) { (*std::launder(reinterpret_cast<F*>(buf)))(); },
-      [](void* src, void* dst) noexcept {
-        F* from = std::launder(reinterpret_cast<F*>(src));
-        ::new (dst) F(std::move(*from));
-        from->~F();
-      },
-      [](void* buf) noexcept { std::launder(reinterpret_cast<F*>(buf))->~F(); },
-  };
-
-  template <class F>
-  static constexpr VTable kHeapVTable{
-      [](void* buf) { (**std::launder(reinterpret_cast<F**>(buf)))(); },
-      [](void* src, void* dst) noexcept {
-        F** from = std::launder(reinterpret_cast<F**>(src));
-        ::new (dst) F*(*from);
-        *from = nullptr;
-      },
-      [](void* buf) noexcept {
-        delete *std::launder(reinterpret_cast<F**>(buf));
-      },
-  };
-
-  void move_from(InlineCallback& other) noexcept {
-    vtable_ = other.vtable_;
-    if (vtable_ != nullptr) {
-      vtable_->move_to(other.buf_, buf_);
-      other.vtable_ = nullptr;
-    }
-  }
-
-  void reset() noexcept {
-    if (vtable_ != nullptr) {
-      vtable_->destroy(buf_);
-      vtable_ = nullptr;
-    }
-  }
-
-  alignas(std::max_align_t) unsigned char buf_[Capacity];
-  const VTable* vtable_ = nullptr;
-};
+using InlineCallback = InlineFunction<void(), Capacity>;
 
 }  // namespace tempriv::sim

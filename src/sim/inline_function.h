@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tempriv::sim {
+
+/// Move-only type-erased callable with a fixed inline buffer, generalized
+/// over the call signature. Callables whose state fits in `Capacity` bytes
+/// (and is nothrow-movable) are stored in place — invoking, moving, and
+/// destroying them never touches the heap. Larger callables transparently
+/// fall back to a heap allocation so the API stays general.
+///
+/// This is the delegate type the simulator uses wherever std::function used
+/// to sit on a per-event or per-transmission path: std::function's
+/// small-buffer window (16 bytes on libstdc++) is too small for the capture
+/// lists the simulator's components use, so every dispatch point it backed
+/// paid one heap allocation per stored callable and an extra indirection
+/// per call. InlineCallback (sim/inline_callback.h) is the nullary
+/// specialization the event kernel stores in its slot pool.
+template <class Signature, std::size_t Capacity>
+class InlineFunction;  // only the R(Args...) specialization exists
+
+template <class R, class... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Replaces the stored callable in place (no temporary InlineFunction,
+  /// no extra buffer move) — the hot path for EventQueue::schedule.
+  template <class F>
+  void emplace(F&& fn) {
+    reset();
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>()) {
+      ::new (static_cast<void*>(buf_)) Decayed(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<Decayed>;
+    } else {
+      ::new (static_cast<void*>(buf_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<Decayed>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// Whether `F` would be stored without a heap allocation.
+  template <class F>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* buf, Args&&... args);
+    void (*move_to)(void* src_buf, void* dst_buf) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <class F>
+  static constexpr VTable kInlineVTable{
+      [](void* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<F*>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        F* from = std::launder(reinterpret_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* buf) noexcept { std::launder(reinterpret_cast<F*>(buf))->~F(); },
+  };
+
+  template <class F>
+  static constexpr VTable kHeapVTable{
+      [](void* buf, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<F**>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        F** from = std::launder(reinterpret_cast<F**>(src));
+        ::new (dst) F*(*from);
+        *from = nullptr;
+      },
+      [](void* buf) noexcept {
+        delete *std::launder(reinterpret_cast<F**>(buf));
+      },
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->move_to(other.buf_, buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace tempriv::sim

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "adversary/estimator.h"
@@ -11,6 +12,7 @@
 #include "crypto/payload.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "net/tracer.h"
 #include "sim/simulator.h"
 #include "workload/burst_source.h"
 #include "workload/source.h"
@@ -107,6 +109,23 @@ ScenarioResult run_paper_scenario(const PaperScenario& scenario) {
   net_config.hop_jitter = scenario.hop_jitter;
   net::Network network(simulator, std::move(built.topology), make_factory(scenario),
                        net_config, root.split(0x6e65));
+  // Size the in-flight pool for the worst case of every routed node having
+  // one packet on the wire at once, so steady state never grows it.
+  network.reserve(network.topology().node_count());
+
+  // Tracing is opt-in: untraced runs never construct the tracer, so the
+  // transmit-probe list stays empty and the hot path is one branch.
+  std::optional<net::PacketTracer> tracer;
+  if (scenario.trace) {
+    tracer.emplace(network);
+    const std::size_t total_packets =
+        scenario.hop_counts.size() * scenario.packets_per_source;
+    std::size_t total_hops = 0;
+    for (const std::uint16_t hops : scenario.hop_counts) {
+      total_hops += static_cast<std::size_t>(hops) * scenario.packets_per_source;
+    }
+    tracer->reserve(total_packets, total_hops);
+  }
 
   const crypto::Speck64_128::Key master_key{0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
                                             0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
@@ -174,6 +193,10 @@ ScenarioResult run_paper_scenario(const PaperScenario& scenario) {
   result.drops = network.total_drops();
   result.mean_latency_all = truth.total_latency().mean();
   result.sim_end_time = simulator.now();
+  if (tracer) {
+    result.transmissions = tracer->transmissions();
+    result.packets_traced = tracer->packets_traced();
+  }
   for (std::size_t i = 0; i < built.sources.size(); ++i) {
     FlowResult flow;
     flow.source = built.sources[i];

@@ -56,6 +56,10 @@ struct PaperScenario {
   /// Optional per-link MAC jitter (see net::NetworkConfig::hop_jitter);
   /// the adversaries' known per-hop transmission delay becomes τ + jitter/2.
   double hop_jitter = 0.0;
+  /// Opt-in packet tracing (net::PacketTracer). Off by default so untraced
+  /// runs never construct the tracer or pay its per-transmission probe;
+  /// when on, ScenarioResult::transmissions/packets_traced are filled in.
+  bool trace = false;
 };
 
 /// Everything the evaluation section reports, per flow and network-wide.
@@ -79,6 +83,9 @@ struct ScenarioResult {
   double mean_latency_all = 0.0;
   double sim_end_time = 0.0;
   std::uint64_t events_executed = 0;  ///< simulator events (throughput metric)
+  /// Filled only when PaperScenario::trace is set; 0 otherwise.
+  std::uint64_t transmissions = 0;   ///< link-layer transmissions traced
+  std::uint64_t packets_traced = 0;  ///< distinct packets seen by the tracer
 };
 
 /// Builds the network, runs it to completion (all sources exhausted, all

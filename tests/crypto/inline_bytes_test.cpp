@@ -1,0 +1,108 @@
+#include "crypto/inline_bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+namespace tempriv::crypto {
+namespace {
+
+TEST(InlineBytes, StartsEmpty) {
+  InlineBytes<16> bytes;
+  EXPECT_EQ(bytes.size(), 0u);
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_EQ(bytes.capacity(), 16u);
+}
+
+TEST(InlineBytes, PushBackAndIndex) {
+  InlineBytes<4> bytes;
+  bytes.push_back(0xAA);
+  bytes.push_back(0xBB);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xAA);
+  EXPECT_EQ(bytes[1], 0xBB);
+}
+
+TEST(InlineBytes, PushBackBeyondCapacityThrows) {
+  InlineBytes<2> bytes;
+  bytes.push_back(1);
+  bytes.push_back(2);
+  EXPECT_THROW(bytes.push_back(3), std::length_error);
+  EXPECT_EQ(bytes.size(), 2u);  // failed push leaves contents intact
+}
+
+TEST(InlineBytes, ResizeZeroFillsGrowth) {
+  InlineBytes<8> bytes;
+  bytes.push_back(0xFF);
+  bytes.resize(4);
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0);
+  EXPECT_EQ(bytes[2], 0);
+  EXPECT_EQ(bytes[3], 0);
+}
+
+TEST(InlineBytes, ResizeDownThenUpClearsOldBytes) {
+  // Shrinking must not leak the old contents back on regrowth, or a stale
+  // ciphertext byte could survive a truncation/extension cycle.
+  InlineBytes<8> bytes;
+  const std::uint8_t src[] = {1, 2, 3, 4};
+  bytes.assign(src);
+  bytes.resize(2);
+  bytes.resize(4);
+  EXPECT_EQ(bytes[2], 0);
+  EXPECT_EQ(bytes[3], 0);
+}
+
+TEST(InlineBytes, ResizeBeyondCapacityThrows) {
+  InlineBytes<4> bytes;
+  EXPECT_THROW(bytes.resize(5), std::length_error);
+}
+
+TEST(InlineBytes, EqualityComparesSizeAndContents) {
+  InlineBytes<8> a, b;
+  const std::uint8_t abc[] = {1, 2, 3};
+  a.assign(abc);
+  b.assign(abc);
+  EXPECT_EQ(a, b);
+  b.push_back(4);
+  EXPECT_NE(a, b);  // same prefix, different size
+  InlineBytes<8> c;
+  const std::uint8_t abz[] = {1, 2, 9};
+  c.assign(abz);
+  EXPECT_NE(a, c);  // same size, different contents
+}
+
+TEST(InlineBytes, SpanAccessorsCoverExactlySizeBytes) {
+  InlineBytes<16> bytes;
+  const std::uint8_t src[] = {10, 20, 30};
+  bytes.assign(src);
+  const auto view = bytes.bytes();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[2], 30);
+  bytes.bytes()[1] = 99;  // mutable span writes through
+  EXPECT_EQ(bytes[1], 99);
+}
+
+TEST(InlineBytes, IsTriviallyCopyableAndMemcpySafe) {
+  static_assert(std::is_trivially_copyable_v<InlineBytes<24>>);
+  InlineBytes<24> src;
+  const std::uint8_t raw[] = {5, 6, 7, 8};
+  src.assign(raw);
+  InlineBytes<24> dst;
+  std::memcpy(&dst, &src, sizeof(src));
+  EXPECT_EQ(dst, src);
+}
+
+TEST(InlineBytes, ClearResetsSize) {
+  InlineBytes<4> bytes;
+  const std::uint8_t src[] = {1, 2};
+  bytes.assign(src);
+  bytes.clear();
+  EXPECT_TRUE(bytes.empty());
+}
+
+}  // namespace
+}  // namespace tempriv::crypto

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 namespace tempriv::crypto {
 namespace {
 
@@ -52,6 +54,60 @@ TEST(PayloadCodec, WrongLengthFailsToOpen) {
   SealedPayload sealed = codec.seal({3.0, 9, 42.0}, 1);
   sealed.ciphertext.push_back(0);
   EXPECT_FALSE(codec.open(sealed).has_value());
+}
+
+TEST(PayloadCodec, TruncatedCiphertextFailsToOpen) {
+  PayloadCodec codec(master_key());
+  SealedPayload sealed = codec.seal({3.0, 9, 42.0}, 1);
+  for (std::size_t n = 0; n < SensorPayload::kWireBytes; ++n) {
+    SealedPayload cut = sealed;
+    cut.ciphertext.resize(n);
+    EXPECT_FALSE(codec.open(cut).has_value()) << "accepted length " << n;
+  }
+}
+
+TEST(PayloadCodec, OversizedCiphertextFailsToOpen) {
+  PayloadCodec codec(master_key());
+  SealedPayload sealed = codec.seal({3.0, 9, 42.0}, 1);
+  for (std::size_t n = SensorPayload::kWireBytes + 1;
+       n <= SealedPayload::kCiphertextCapacity; ++n) {
+    SealedPayload padded = sealed;
+    padded.ciphertext.resize(n);  // zero-padded growth
+    EXPECT_FALSE(codec.open(padded).has_value()) << "accepted length " << n;
+  }
+}
+
+TEST(PayloadCodec, SealIsDeterministic) {
+  // Same key, payload, and origin must produce identical sealed bytes —
+  // the golden-CSV byte-identity of every scenario depends on it.
+  PayloadCodec codec(master_key());
+  const SensorPayload payload{2.25, 77, 1234.5};
+  const SealedPayload a = codec.seal(payload, 42);
+  const SealedPayload b = codec.seal(payload, 42);
+  EXPECT_EQ(a.nonce, b.nonce);
+  EXPECT_EQ(a.ciphertext, b.ciphertext);
+  EXPECT_EQ(a.tag, b.tag);
+}
+
+TEST(PayloadCodec, SealedPayloadSurvivesMemcpyTransport) {
+  // The packet path moves SealedPayloads with raw memcpys (pool slots, delay
+  // buffers, event captures); a copied payload must still open.
+  PayloadCodec codec(master_key());
+  const SensorPayload payload{-7.5, 3, 99.0};
+  const SealedPayload sealed = codec.seal(payload, 8);
+  SealedPayload moved;
+  std::memcpy(&moved, &sealed, sizeof(sealed));
+  const auto opened = codec.open(moved);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST(PayloadCodec, CiphertextUsesExactWireSizeWithinInlineCapacity) {
+  PayloadCodec codec(master_key());
+  const SealedPayload sealed = codec.seal({1.0, 2, 3.0}, 4);
+  EXPECT_EQ(sealed.ciphertext.size(), SensorPayload::kWireBytes);
+  static_assert(SealedPayload::kCiphertextCapacity >=
+                SensorPayload::kWireBytes);
 }
 
 TEST(PayloadCodec, WrongKeyFailsToOpen) {

@@ -127,6 +127,38 @@ TEST(Network, UidsAreUniqueAndCountersTrack) {
   EXPECT_NE(observer.deliveries[0].packet.uid, observer.deliveries[1].packet.uid);
 }
 
+TEST(Network, FailedOriginateDoesNotCountAsOriginated) {
+  // Regression: packets_originated used to report the uid counter, which
+  // only moved on success — but a rejected originate must leave the tally
+  // alone and must not burn a uid either.
+  sim::Simulator sim;
+  Topology topo = Topology::line(3);
+  const NodeId island = topo.add_node();
+  Network net(sim, topo, core::immediate_factory(), {}, sim::RandomStream(1));
+  EXPECT_THROW(net.originate(topo.sink(), sealed_at(0.0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(net.originate(island, sealed_at(0.0, island)),
+               std::invalid_argument);
+  EXPECT_EQ(net.packets_originated(), 0u);
+  const std::uint64_t uid = net.originate(0, sealed_at(0.0, 0));
+  EXPECT_EQ(uid, 0u);  // rejected attempts consumed no uids
+  EXPECT_EQ(net.packets_originated(), 1u);
+  sim.run();
+  EXPECT_EQ(net.packets_delivered(), 1u);
+}
+
+TEST(Network, InFlightCountTracksLinkTraversals) {
+  sim::Simulator sim;
+  Network net(sim, Topology::line(4), core::immediate_factory(), {},
+              sim::RandomStream(1));
+  net.reserve(8);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+  net.originate(0, sealed_at(0.0, 0));
+  EXPECT_EQ(net.packets_in_flight(), 1u);  // parked for the first hop
+  sim.run();
+  EXPECT_EQ(net.packets_in_flight(), 0u);  // pool drains by run end
+}
+
 TEST(Network, HopCountCountsActualPathNotTopologySize) {
   sim::Simulator sim;
   const auto built = Topology::converging_paths({7, 4}, 2);

@@ -68,6 +68,41 @@ TEST(PacketTracer, UnknownUidYieldsEmpty) {
   EXPECT_TRUE(tracer.holding_times(42).empty());
 }
 
+TEST(PacketTracer, UnknownUidResultsAreIndependentValues) {
+  // Regression: hops() used to return a reference to one shared empty
+  // vector for every unknown uid, so results for different uids aliased
+  // each other. By-value results must be independently owned.
+  sim::Simulator sim;
+  Network network(sim, Topology::line(3), core::immediate_factory(), {},
+                  sim::RandomStream(1));
+  PacketTracer tracer(network);
+  auto a = tracer.hops(41);
+  auto b = tracer.hops(42);
+  a.push_back({0, 1, 0.0});  // mutating one result...
+  EXPECT_TRUE(b.empty());    // ...must not leak into the other
+  EXPECT_TRUE(tracer.hops(42).empty());
+}
+
+TEST(PacketTracer, HopsSnapshotSurvivesLaterTracing) {
+  // Regression companion: a hops() result taken mid-run must stay valid and
+  // unchanged while the tracer's internal arena grows under later packets.
+  sim::Simulator sim;
+  Network network(sim, Topology::line(6), core::immediate_factory(), {},
+                  sim::RandomStream(1));
+  PacketTracer tracer(network);
+  const std::uint64_t first =
+      network.originate(0, codec().seal({0.0, 0, 0.0}, 0));
+  sim.run();
+  const auto snapshot = tracer.hops(first);
+  ASSERT_EQ(snapshot.size(), 5u);
+  for (std::uint32_t seq = 1; seq <= 64; ++seq) {
+    network.originate(0, codec().seal({0.0, seq, 0.0}, 0));
+  }
+  sim.run();
+  EXPECT_EQ(tracer.packets_traced(), 65u);
+  EXPECT_EQ(snapshot, tracer.hops(first));
+}
+
 TEST(PacketTracer, TracksManyPacketsIndependently) {
   sim::Simulator sim;
   const auto built = Topology::converging_paths({4, 6}, 1);

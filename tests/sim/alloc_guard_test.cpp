@@ -10,6 +10,10 @@
 #include <new>
 
 #include "core/delay_buffer.h"
+#include "core/factories.h"
+#include "crypto/payload.h"
+#include "net/network.h"
+#include "net/packet_pool.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -110,6 +114,80 @@ TEST(AllocGuard, HotPathClosuresFitInline) {
   };
   EXPECT_TRUE(EventQueue::Callback::fits_inline<decltype(chain)>());
   EXPECT_TRUE(EventQueue::Callback::fits_inline<decltype(release)>());
+  // Network link-traversal shape: network reference + destination + pooled
+  // packet handle. This closure replaced one that captured the whole Packet
+  // (which outgrows the inline budget and heap-allocated on every hop).
+  net::Network* net = nullptr;
+  net::NodeId next = 0;
+  net::PacketPool::Handle handle;
+  auto link = [net, next, handle] { (void)net, (void)next, (void)handle; };
+  EXPECT_TRUE(EventQueue::Callback::fits_inline<decltype(link)>());
+}
+
+TEST(AllocGuard, WarmForwardedPacketAllocatesNothing) {
+  // The end-to-end acceptance bar for the zero-allocation packet path:
+  // sealing a payload, injecting it, and forwarding it across every hop of
+  // a warm network must not touch the heap — with immediate forwarding
+  // (every packet transits every layer: seal, originate, pool, event
+  // kernel, per-hop header updates, sink delivery) and no tracer attached.
+  Simulator simulator;
+  constexpr std::size_t kHops = 16;
+  net::Network network(simulator, net::Topology::line(kHops + 1),
+                       core::immediate_factory(), {}, RandomStream(21));
+  network.reserve(8);
+  simulator.reserve(64);
+  const crypto::PayloadCodec codec(
+      crypto::Speck64_128::Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                               15, 16});
+  std::uint32_t seq = 0;
+  auto send_one = [&] {
+    network.originate(0, codec.seal({1.0, seq, simulator.now()}, 0));
+    ++seq;
+    simulator.run();
+  };
+  // Warm-up: populate the pool slots, event-queue slots, and sink path.
+  for (int i = 0; i < 8; ++i) send_one();
+
+  const std::size_t before = allocations();
+  for (int round = 0; round < 2000; ++round) send_one();
+  EXPECT_EQ(allocations() - before, 0u)
+      << "packet path allocated while sealing/forwarding a packet";
+  EXPECT_EQ(network.packets_delivered(), 2008u);
+}
+
+TEST(AllocGuard, WarmDelayedForwardingAllocatesNothing) {
+  // Same bar for the paper's actual configuration: RCAD disciplines delay
+  // and preempt inside their slot-pooled buffers on the way to the sink.
+  Simulator simulator;
+  net::Network network(simulator, net::Topology::line(6),
+                       core::rcad_exponential_factory(
+                           5.0, 8, core::VictimPolicy::kShortestRemaining),
+                       {}, RandomStream(22));
+  network.reserve(16);
+  simulator.reserve(256);
+  const crypto::PayloadCodec codec(
+      crypto::Speck64_128::Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                               15, 16});
+  RandomStream rng(23);
+  std::uint32_t seq = 0;
+  // Warm-up: a first wave fills every buffer slot at least once.
+  for (int i = 0; i < 64; ++i) {
+    network.originate(0, codec.seal({1.0, seq, simulator.now()}, 0));
+    ++seq;
+    simulator.run_until(simulator.now() + rng.uniform(0.5, 2.0));
+  }
+  simulator.run();
+
+  const std::size_t before = allocations();
+  for (int round = 0; round < 500; ++round) {
+    network.originate(0, codec.seal({1.0, seq, simulator.now()}, 0));
+    ++seq;
+    simulator.run_until(simulator.now() + rng.uniform(0.5, 2.0));
+  }
+  simulator.run();
+  EXPECT_EQ(allocations() - before, 0u)
+      << "delayed forwarding allocated on the steady-state path";
+  EXPECT_EQ(network.packets_delivered(), network.packets_originated());
 }
 
 TEST(AllocGuard, WarmDelayBufferChurnAllocatesNothing) {

@@ -1,0 +1,101 @@
+#include "sim/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace tempriv::sim {
+namespace {
+
+TEST(InlineFunction, DefaultConstructedIsEmpty) {
+  InlineFunction<int(int), 32> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, InvokesWithArgumentsAndReturn) {
+  InlineFunction<int(int, int), 32> fn = [](int a, int b) { return a * b; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(6, 7), 42);
+}
+
+TEST(InlineFunction, SmallCaptureStaysInline) {
+  struct Small {
+    std::uint64_t a = 1, b = 2;
+    std::uint64_t operator()() const { return a + b; }
+  };
+  EXPECT_TRUE((InlineFunction<std::uint64_t(), 32>::fits_inline<Small>()));
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeapAndStillWorks) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > 32-byte buffer
+  big[0] = 11;
+  big[15] = 31;
+  auto lambda = [big] { return big[0] + big[15]; };
+  EXPECT_FALSE(
+      (InlineFunction<std::uint64_t(), 32>::fits_inline<decltype(lambda)>()));
+  InlineFunction<std::uint64_t(), 32> fn = std::move(lambda);
+  EXPECT_EQ(fn(), 42u);
+}
+
+TEST(InlineFunction, MovePreservesInlineState) {
+  int hits = 0;
+  InlineFunction<void(), 48> a = [&hits] { ++hits; };
+  InlineFunction<void(), 48> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MovePreservesHeapState) {
+  std::array<std::uint64_t, 16> big{};
+  big[3] = 5;
+  InlineFunction<std::uint64_t(), 16> a = [big] { return big[3]; };
+  InlineFunction<std::uint64_t(), 16> b = std::move(a);
+  InlineFunction<std::uint64_t(), 16> c;
+  c = std::move(b);
+  EXPECT_EQ(c(), 5u);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  EXPECT_EQ(counter.use_count(), 1);
+  InlineFunction<void(), 48> fn = [counter] {};
+  EXPECT_EQ(counter.use_count(), 2);
+  fn = InlineFunction<void(), 48>([] {});
+  EXPECT_EQ(counter.use_count(), 1);  // old capture released
+}
+
+TEST(InlineFunction, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineFunction<void(), 48> fn = [counter] {};
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunction, EmplaceReplacesCallableInPlace) {
+  InlineFunction<int(), 32> fn = [] { return 1; };
+  fn.emplace([] { return 2; });
+  EXPECT_EQ(fn(), 2);
+}
+
+TEST(InlineFunction, ForwardsMoveOnlyArguments) {
+  InlineFunction<int(std::unique_ptr<int>), 32> fn =
+      [](std::unique_ptr<int> p) { return *p; };
+  EXPECT_EQ(fn(std::make_unique<int>(9)), 9);
+}
+
+TEST(InlineFunction, ReferenceArgumentsWriteThrough) {
+  InlineFunction<void(std::string&), 32> fn =
+      [](std::string& s) { s += "!"; };
+  std::string text = "hop";
+  fn(text);
+  EXPECT_EQ(text, "hop!");
+}
+
+}  // namespace
+}  // namespace tempriv::sim

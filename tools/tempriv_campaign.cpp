@@ -43,6 +43,9 @@ int usage(std::ostream& os, int code) {
         "  --out DIR            results directory (default: $TEMPRIV_RESULTS_DIR\n"
         "                       or bench_results/)\n"
         "  --quiet              suppress the progress meter\n"
+        "  --trace              enable per-packet tracing in every scenario\n"
+        "                       (reports total link transmissions; untraced\n"
+        "                       runs never pay the tracer's probe)\n"
         "\n"
         "grid axes (comma lists or lo:hi:step ranges):\n"
         "  --interarrival LIST  1/lambda values (default 2)\n"
@@ -104,6 +107,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::uint32_t reps = 1;
   bool quiet = false;
+  bool trace = false;
   bool seed_set = false;
   std::uint64_t seed = 0;
   std::string jsonl_path;
@@ -132,6 +136,8 @@ int main(int argc, char** argv) {
         setenv("TEMPRIV_RESULTS_DIR", value().c_str(), /*overwrite=*/1);
       } else if (arg == "--quiet") {
         quiet = true;
+      } else if (arg == "--trace") {
+        trace = true;
       } else if (arg == "--interarrival") {
         grid.interarrivals = parse_axis(value());
       } else if (arg == "--buffer-slots") {
@@ -157,6 +163,9 @@ int main(int argc, char** argv) {
                                 : campaign::make_named_sweep(sweep_name);
     if (seed_set) {
       for (workload::PaperScenario& point : sweep.points) point.seed = seed;
+    }
+    if (trace) {
+      for (workload::PaperScenario& point : sweep.points) point.trace = true;
     }
 
     const std::size_t total_jobs = sweep.points.size() * reps;
