@@ -17,8 +17,9 @@ if [[ -n "${TEMPRIV_SANITIZE:-}" ]]; then
   echo "== sanitizer pass (${TEMPRIV_SANITIZE}) in ${SAN_DIR} =="
   cmake -B "$SAN_DIR" -S . -DTEMPRIV_SANITIZE="${TEMPRIV_SANITIZE}"
   cmake --build "$SAN_DIR" -j
-  # The campaign determinism tests (threaded engine + golden CSV bytes) and
-  # the kernel/buffer tests are the ones the sanitizers are really for, but
-  # the whole suite is cheap enough to run instrumented.
+  # The campaign determinism tests (threaded engine + golden CSV bytes),
+  # the shard/merge/supervisor tests (fork + pipe progress aggregation),
+  # and the kernel/buffer tests are the ones the sanitizers are really for,
+  # but the whole suite is cheap enough to run instrumented.
   (cd "$SAN_DIR" && ctest --output-on-failure -j)
 fi

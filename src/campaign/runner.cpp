@@ -15,24 +15,26 @@ namespace tempriv::campaign {
 
 namespace {
 
-/// Releases completed jobs to the sinks strictly in job-index order: workers
-/// deposit results as they finish; whenever the contiguous prefix grows, the
-/// depositing worker drains it. Bounded buffering (only out-of-order
-/// stragglers are held) and no dedicated merger thread.
+/// Releases completed jobs to the sinks strictly in submission order:
+/// workers deposit results (keyed by their dense position in the submitted
+/// job list — not the global job index, which is stride-N in a shard run)
+/// as they finish; whenever the contiguous prefix grows, the depositing
+/// worker drains it. Bounded buffering (only out-of-order stragglers are
+/// held) and no dedicated merger thread.
 class InOrderMerger {
  public:
   InOrderMerger(std::vector<JobResult>& out, const std::vector<ResultSink*>& sinks)
       : out_(out), sinks_(sinks) {}
 
-  void deposit(JobResult result) {
+  void deposit(std::size_t order, JobResult result) {
     std::lock_guard<std::mutex> lock(mutex_);
-    pending_.emplace(result.spec.index, std::move(result));
-    for (auto next = pending_.find(next_index_); next != pending_.end();
-         next = pending_.find(next_index_)) {
+    pending_.emplace(order, std::move(result));
+    for (auto next = pending_.find(next_order_); next != pending_.end();
+         next = pending_.find(next_order_)) {
       for (ResultSink* sink : sinks_) sink->consume(next->second);
       out_.push_back(std::move(next->second));
       pending_.erase(next);
-      ++next_index_;
+      ++next_order_;
     }
   }
 
@@ -41,7 +43,7 @@ class InOrderMerger {
   const std::vector<ResultSink*>& sinks_;
   std::mutex mutex_;
   std::map<std::size_t, JobResult> pending_;
-  std::size_t next_index_ = 0;
+  std::size_t next_order_ = 0;
 };
 
 }  // namespace
@@ -68,19 +70,33 @@ std::vector<JobSpec> CampaignRunner::expand(
   return jobs;
 }
 
+std::vector<JobSpec> CampaignRunner::expand(
+    const std::vector<workload::PaperScenario>& points,
+    std::uint32_t replications, const ShardSpec& shard) {
+  std::vector<JobSpec> all = expand(points, replications);
+  if (shard.is_all()) return all;
+  std::vector<JobSpec> owned;
+  owned.reserve(shard_jobs_owned(all.size(), shard));
+  for (JobSpec& spec : all) {
+    if (shard.owns(spec.index)) owned.push_back(std::move(spec));
+  }
+  return owned;
+}
+
 std::vector<JobResult> CampaignRunner::run(
     const std::vector<JobSpec>& jobs, const std::vector<ResultSink*>& sinks) {
   std::vector<JobResult> results;
   results.reserve(jobs.size());
   InOrderMerger merger(results, sinks);
-  ProgressReporter* progress = options_.progress;
+  ProgressListener* progress = options_.progress;
 
   std::vector<std::future<void>> futures;
   futures.reserve(jobs.size());
   {
     ThreadPool pool(options_.threads);
-    for (const JobSpec& spec : jobs) {
-      futures.push_back(pool.submit([&merger, &spec, progress] {
+    for (std::size_t order = 0; order < jobs.size(); ++order) {
+      const JobSpec& spec = jobs[order];
+      futures.push_back(pool.submit([&merger, &spec, order, progress] {
         const auto start = std::chrono::steady_clock::now();
         JobResult job;
         job.spec = spec;
@@ -90,7 +106,7 @@ std::vector<JobResult> CampaignRunner::run(
                                           start)
                 .count();
         if (progress) progress->job_done(job.result.events_executed);
-        merger.deposit(std::move(job));
+        merger.deposit(order, std::move(job));
       }));
     }
     // Collect completions before the pool goes out of scope; a job that

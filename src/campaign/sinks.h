@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "campaign/job.h"
+#include "campaign/shard.h"
 #include "metrics/histogram.h"
 #include "metrics/stats.h"
 
@@ -52,6 +53,8 @@ struct CampaignStats {
   metrics::StreamingStats preemptions_per_packet;
   /// Distribution of per-flow mean latencies (bins cover [0, 1000)).
   metrics::Histogram latency_hist;
+  /// Distribution of per-job preemption counts (RCAD ejections per run).
+  metrics::IntegerHistogram preemption_hist;
   std::uint64_t jobs = 0;
   std::uint64_t sim_events = 0;
 
@@ -85,5 +88,23 @@ class MergedStatsSink : public ResultSink {
 /// Formats a double for the JSONL log: shortest round-trippable decimal via
 /// max_digits10, locale-independent. Exposed for tests.
 std::string json_number(double value);
+
+/// Writes the campaign stats artifact (`<tag>.stats.json`, or the
+/// `.shard-i-of-N.stats.json` sibling of a shard JSONL): the manifest, the
+/// shard block when `shard` is non-null and not 0/1, the total
+/// CampaignStats, and one CampaignStats per scenario point. Every byte is a
+/// deterministic function of the consumed jobs and the manifest, so a
+/// merged N-shard campaign writes the identical file a serial run writes —
+/// the byte-identity contract the determinism suite diffs.
+void write_campaign_stats_json(std::ostream& os,
+                               const CampaignManifest& manifest,
+                               const ShardSpec* shard,
+                               const MergedStatsSink& stats);
+
+/// The human summary both tempriv-campaign (after a serial or supervised
+/// run) and tempriv-merge (after combining shards) print — shared so the
+/// two paths emit identical text for identical campaigns.
+void print_campaign_summary(std::ostream& os, const CampaignStats& total,
+                            std::size_t points, std::uint32_t reps);
 
 }  // namespace tempriv::campaign

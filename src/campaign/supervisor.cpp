@@ -1,0 +1,211 @@
+#include "campaign/supervisor.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace tempriv::campaign {
+
+void PipeProgress::job_done(std::uint64_t sim_events) {
+  char buffer[32];
+  const int n = std::snprintf(buffer, sizeof buffer, "E %llu\n",
+                              static_cast<unsigned long long>(sim_events));
+  if (n <= 0) return;
+  // One atomic write per record; if the parent is gone EPIPE is ignored —
+  // progress is measurement-only and must never fail a shard.
+  [[maybe_unused]] const ssize_t written = ::write(fd_, buffer, static_cast<std::size_t>(n));
+}
+
+namespace {
+
+struct Child {
+  pid_t pid = -1;
+  int pipe_fd = -1;       ///< parent's read end; -1 once EOF
+  std::string buffer;     ///< partial line carried between reads
+  bool reaped = false;
+  int status = 0;         ///< waitpid status once reaped
+};
+
+/// Feeds complete "E <events>" lines from `chunk` into the listener.
+void consume_progress(Child& child, const char* chunk, std::size_t len,
+                      ProgressListener* progress) {
+  child.buffer.append(chunk, len);
+  std::size_t start = 0;
+  for (std::size_t nl = child.buffer.find('\n', start);
+       nl != std::string::npos; nl = child.buffer.find('\n', start)) {
+    const std::string line = child.buffer.substr(start, nl - start);
+    start = nl + 1;
+    if (line.size() > 2 && line[0] == 'E' && line[1] == ' ') {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long events = std::strtoull(line.c_str() + 2, &end, 10);
+      if (errno == 0 && end != line.c_str() + 2 && progress != nullptr) {
+        progress->job_done(static_cast<std::uint64_t>(events));
+      }
+    }
+  }
+  child.buffer.erase(0, start);
+}
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return std::string("killed by signal ") + strsignal(WTERMSIG(status));
+  }
+  return "ended abnormally";
+}
+
+}  // namespace
+
+int run_shard_fleet(
+    std::uint32_t shard_count, ProgressListener* progress,
+    const std::function<int(const ShardSpec&, int progress_fd)>& child_main,
+    std::string* error) {
+  if (shard_count == 0) {
+    if (error) *error = "shard count must be >= 1";
+    return 1;
+  }
+  // A shard that dies mid-write must not kill the supervisor with SIGPIPE;
+  // children inherit the default disposition back via the exec-less fork,
+  // but PipeProgress ignores write errors anyway.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<Child> children(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      if (error) *error = std::string("pipe: ") + std::strerror(errno);
+      for (Child& child : children) {
+        if (child.pid > 0) ::kill(child.pid, SIGTERM);
+        if (child.pipe_fd >= 0) ::close(child.pipe_fd);
+      }
+      return 1;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      if (error) *error = std::string("fork: ") + std::strerror(errno);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      for (Child& child : children) {
+        if (child.pid > 0) ::kill(child.pid, SIGTERM);
+        if (child.pipe_fd >= 0) ::close(child.pipe_fd);
+      }
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: drop every inherited read end (ours and earlier siblings')
+      // so the parent sees EOF exactly when the last writer exits.
+      ::close(fds[0]);
+      for (const Child& sibling : children) {
+        if (sibling.pipe_fd >= 0) ::close(sibling.pipe_fd);
+      }
+      int code = 1;
+      try {
+        code = child_main(ShardSpec{i, shard_count}, fds[1]);
+      } catch (...) {
+        code = 1;
+      }
+      ::close(fds[1]);
+      // _exit, not exit: the child shares the parent's stdio buffers and
+      // atexit list; flushing them twice would duplicate output.
+      ::_exit(code);
+    }
+    children[i].pid = pid;
+    children[i].pipe_fd = fds[0];
+    ::close(fds[1]);
+  }
+
+  // Stream progress until every pipe reaches EOF. EOF is the child-done
+  // signal (exit closes the write end); the wait loop below collects the
+  // actual statuses.
+  bool failed = false;
+  std::string first_failure;
+  auto note_failure = [&](std::uint32_t shard, int status) {
+    if (failed) return;
+    failed = true;
+    first_failure = "shard " + std::to_string(shard) + "/" +
+                    std::to_string(shard_count) + " " + describe_exit(status);
+    for (Child& child : children) {
+      if (!child.reaped && child.pid > 0) ::kill(child.pid, SIGTERM);
+    }
+  };
+
+  std::size_t open_pipes = children.size();
+  std::vector<pollfd> poll_set;
+  while (open_pipes > 0) {
+    poll_set.clear();
+    for (const Child& child : children) {
+      if (child.pipe_fd >= 0) {
+        poll_set.push_back(pollfd{child.pipe_fd, POLLIN, 0});
+      }
+    }
+    if (::poll(poll_set.data(), poll_set.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = std::string("poll: ") + std::strerror(errno);
+      failed = true;
+      break;
+    }
+    for (const pollfd& entry : poll_set) {
+      if ((entry.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Child* child = nullptr;
+      std::uint32_t shard = 0;
+      for (std::uint32_t i = 0; i < children.size(); ++i) {
+        if (children[i].pipe_fd == entry.fd) {
+          child = &children[i];
+          shard = i;
+          break;
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(entry.fd, chunk, sizeof chunk);
+      if (n > 0) {
+        consume_progress(*child, chunk, static_cast<std::size_t>(n), progress);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+      // EOF (or read error): the child is finishing — reap it now so a
+      // failure fails the fleet fast instead of after every shard drains.
+      ::close(child->pipe_fd);
+      child->pipe_fd = -1;
+      --open_pipes;
+      if (::waitpid(child->pid, &child->status, 0) == child->pid) {
+        child->reaped = true;
+        if (!(WIFEXITED(child->status) && WEXITSTATUS(child->status) == 0)) {
+          note_failure(shard, child->status);
+        }
+      }
+    }
+  }
+
+  for (std::uint32_t i = 0; i < children.size(); ++i) {
+    Child& child = children[i];
+    if (child.pipe_fd >= 0) {
+      ::close(child.pipe_fd);
+      child.pipe_fd = -1;
+    }
+    if (!child.reaped && child.pid > 0 &&
+        ::waitpid(child.pid, &child.status, 0) == child.pid) {
+      child.reaped = true;
+      if (!(WIFEXITED(child.status) && WEXITSTATUS(child.status) == 0)) {
+        note_failure(i, child.status);
+      }
+    }
+  }
+
+  if (failed) {
+    if (error && !first_failure.empty()) *error = first_failure;
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace tempriv::campaign

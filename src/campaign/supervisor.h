@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/progress.h"
+#include "campaign/shard.h"
+
+namespace tempriv::campaign {
+
+/// Writes one "E <sim_events>\n" record per finished job to a pipe fd. A
+/// record is a single short write() (far below PIPE_BUF), which POSIX
+/// guarantees is atomic, so concurrent workers need no lock and a parent
+/// reading the pipe never sees torn lines.
+class PipeProgress : public ProgressListener {
+ public:
+  explicit PipeProgress(int fd) : fd_(fd) {}
+  void job_done(std::uint64_t sim_events) override;
+
+ private:
+  int fd_;
+};
+
+/// Runs `child_main(shard, progress_fd)` in one forked process per shard
+/// (i/N for i in 0..N-1) and supervises them:
+///
+///  - each child gets a dedicated pipe; the parent polls all pipes and
+///    forwards every "E <events>" record to `progress` (may be null), so
+///    the user sees one aggregated meter across the whole fleet;
+///  - a child that exits nonzero or dies on a signal fails the campaign:
+///    the parent SIGTERMs the remaining children, reaps everything, and
+///    returns a nonzero exit code with the first failure described in
+///    `*error`;
+///  - the parent itself must be single-threaded when calling this (fork
+///    and threads do not mix); children may spawn as many workers as they
+///    like.
+///
+/// `child_main` runs in the child process and must not return to the
+/// caller's stack — its return value becomes the child's exit status via
+/// _exit(). Returns 0 when every shard succeeded.
+int run_shard_fleet(
+    std::uint32_t shard_count, ProgressListener* progress,
+    const std::function<int(const ShardSpec&, int progress_fd)>& child_main,
+    std::string* error);
+
+}  // namespace tempriv::campaign

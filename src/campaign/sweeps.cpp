@@ -142,27 +142,15 @@ Sweep buffer_size_sweep() {
   return sweep;
 }
 
-Sweep grid_sweep(const GridSpec& spec) {
-  if (spec.interarrivals.empty() || spec.buffer_slots.empty() ||
-      spec.schemes.empty()) {
-    throw std::invalid_argument("grid_sweep: empty axis");
-  }
-  Sweep sweep;
-  sweep.name = "grid";
-  sweep.tag = "campaign_grid";
-  for (const double interarrival : spec.interarrivals) {
-    for (const std::size_t slots : spec.buffer_slots) {
-      for (const workload::Scheme scheme : spec.schemes) {
-        workload::PaperScenario scenario = spec.base;
-        scenario.interarrival = interarrival;
-        scenario.buffer_slots = slots;
-        scenario.scheme = scheme;
-        sweep.points.push_back(scenario);
-      }
-    }
-  }
-  const std::vector<workload::PaperScenario> points = sweep.points;
-  sweep.table = [points](const std::vector<workload::ScenarioResult>& results) {
+namespace {
+
+/// The generic grid table over an explicit point list — shared by
+/// grid_sweep (points from a GridSpec cross product) and sweep_for_merge
+/// (points recovered from shard JSONL records).
+std::function<metrics::Table(const std::vector<workload::ScenarioResult>&)>
+grid_table(std::vector<workload::PaperScenario> points) {
+  return [points = std::move(points)](
+             const std::vector<workload::ScenarioResult>& results) {
     metrics::Table table({"1/lambda", "k", "scheme", "S1 MSE (baseline)",
                           "S1 MSE (adaptive)", "S1 mean latency",
                           "preempt/pkt", "drops/pkt"});
@@ -185,6 +173,30 @@ Sweep grid_sweep(const GridSpec& spec) {
     }
     return table;
   };
+}
+
+}  // namespace
+
+Sweep grid_sweep(const GridSpec& spec) {
+  if (spec.interarrivals.empty() || spec.buffer_slots.empty() ||
+      spec.schemes.empty()) {
+    throw std::invalid_argument("grid_sweep: empty axis");
+  }
+  Sweep sweep;
+  sweep.name = "grid";
+  sweep.tag = "campaign_grid";
+  for (const double interarrival : spec.interarrivals) {
+    for (const std::size_t slots : spec.buffer_slots) {
+      for (const workload::Scheme scheme : spec.schemes) {
+        workload::PaperScenario scenario = spec.base;
+        scenario.interarrival = interarrival;
+        scenario.buffer_slots = slots;
+        scenario.scheme = scheme;
+        sweep.points.push_back(scenario);
+      }
+    }
+  }
+  sweep.table = grid_table(sweep.points);
   return sweep;
 }
 
@@ -213,6 +225,48 @@ SweepRun run_sweep(const Sweep& sweep, const RunnerOptions& options,
   std::vector<JobResult> results = runner.run(jobs, sinks);
   metrics::Table table = sweep.table(point_results(results));
   return SweepRun{std::move(table), std::move(results)};
+}
+
+void run_sweep_shard(const Sweep& sweep, const RunnerOptions& options,
+                     std::uint32_t replications, const ShardSpec& shard,
+                     std::ostream& jsonl_os, std::ostream& stats_os) {
+  const CampaignManifest manifest =
+      make_manifest(sweep.name, sweep.tag, replications, sweep.points);
+  const std::vector<JobSpec> jobs =
+      CampaignRunner::expand(sweep.points, replications, shard);
+
+  ShardHeader header;
+  header.manifest = manifest;
+  header.shard = shard;
+  header.jobs_owned = jobs.size();
+  jsonl_os << shard_header_json(header) << "\n";
+
+  JsonlSink jsonl(jsonl_os);
+  MergedStatsSink stats(sweep.points.size());
+  CampaignRunner runner(options);
+  runner.run(jobs, {&jsonl, &stats});
+
+  write_campaign_stats_json(stats_os, manifest, &shard, stats);
+}
+
+Sweep sweep_for_merge(const std::string& name,
+                      const std::vector<workload::PaperScenario>& points) {
+  Sweep sweep;
+  if (name == "grid") {
+    sweep.name = "grid";
+    sweep.tag = "campaign_grid";
+    sweep.points = points;
+    sweep.table = grid_table(points);
+  } else {
+    sweep = make_named_sweep(name);
+  }
+  if (sweep.points.size() != points.size()) {
+    throw std::runtime_error(
+        "sweep_for_merge: sweep '" + name + "' has " +
+        std::to_string(sweep.points.size()) + " points, artifacts describe " +
+        std::to_string(points.size()));
+  }
+  return sweep;
 }
 
 }  // namespace tempriv::campaign

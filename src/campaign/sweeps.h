@@ -61,4 +61,24 @@ SweepRun run_sweep(const Sweep& sweep, const RunnerOptions& options,
                    std::uint32_t replications = 1,
                    const std::vector<ResultSink*>& sinks = {});
 
+/// Runs only the jobs `shard` owns and writes the two self-describing shard
+/// artifacts: the shard JSONL (header line + the owned jobs' JSONL records,
+/// in ascending global job index) to `jsonl_os` and the shard stats JSON to
+/// `stats_os`. Because ownership is index-modulo and seeds derive per job,
+/// the records a shard emits are byte-for-byte the lines the serial run
+/// would have emitted for those jobs — tempriv-merge only interleaves and
+/// validates, it never recomputes. No figure table is built (a partial
+/// shard cannot see every point); that happens at merge time.
+void run_sweep_shard(const Sweep& sweep, const RunnerOptions& options,
+                     std::uint32_t replications, const ShardSpec& shard,
+                     std::ostream& jsonl_os, std::ostream& stats_os);
+
+/// Rebuilds a Sweep good enough to re-render the figure table from parsed
+/// shard artifacts: named sweeps resolve through make_named_sweep (their
+/// table recipes are code, not data); "grid" rebuilds the generic grid
+/// table over the scenario points recovered from the JSONL records.
+/// `points` must match the sweep's point count.
+Sweep sweep_for_merge(const std::string& name,
+                      const std::vector<workload::PaperScenario>& points);
+
 }  // namespace tempriv::campaign

@@ -12,6 +12,22 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
   counts_.resize(bins, 0);
 }
 
+Histogram Histogram::from_counts(double lo, double hi,
+                                 std::vector<std::uint64_t> counts,
+                                 std::uint64_t underflow,
+                                 std::uint64_t overflow) {
+  Histogram h(lo, hi, counts.empty() ? 1 : counts.size());
+  if (counts.empty()) {
+    throw std::invalid_argument("Histogram::from_counts: empty counts");
+  }
+  h.counts_ = std::move(counts);
+  h.underflow_ = underflow;
+  h.overflow_ = overflow;
+  h.total_ = underflow + overflow;
+  for (const std::uint64_t c : h.counts_) h.total_ += c;
+  return h;
+}
+
 void Histogram::add(double x) noexcept {
   ++total_;
   if (x < lo_) {
@@ -51,6 +67,13 @@ void IntegerHistogram::add(std::uint64_t value) {
   if (value >= counts_.size()) counts_.resize(value + 1, 0);
   ++counts_[value];
   ++total_;
+}
+
+void IntegerHistogram::add_count(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  counts_[value] += n;
+  total_ += n;
 }
 
 void IntegerHistogram::merge(const IntegerHistogram& other) {

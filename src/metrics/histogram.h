@@ -13,6 +13,14 @@ class Histogram {
   /// Requires lo < hi and bins >= 1.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Rebuilds a histogram from previously serialized counts (the shard-merge
+  /// path: per-shard artifacts store their bin counts, the merge tool
+  /// reconstitutes each and combines them with merge()). `counts.size()` is
+  /// the bin count; total is recomputed.
+  static Histogram from_counts(double lo, double hi,
+                               std::vector<std::uint64_t> counts,
+                               std::uint64_t underflow, std::uint64_t overflow);
+
   void add(double x) noexcept;
 
   /// Combines another histogram accumulated with the same binning, the
@@ -55,6 +63,10 @@ class Histogram {
 class IntegerHistogram {
  public:
   void add(std::uint64_t value);
+
+  /// Adds `n` occurrences of `value` at once (deserialization of shard
+  /// artifacts; equivalent to calling add(value) n times).
+  void add_count(std::uint64_t value, std::uint64_t n);
 
   /// Adds another accumulator's counts (always compatible: the domain ℕ is
   /// shared and the storage grows on demand).

@@ -24,6 +24,10 @@ class StreamingStats {
   double stddev() const noexcept;
   double min() const noexcept { return count_ ? min_ : 0.0; }
   double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Raw Welford M2 (sum of squared deviations from the mean). Exposed so
+  /// accumulators can be serialized bit-exactly — variance() divides by n
+  /// and would not round-trip.
+  double sum_squared_deviations() const noexcept { return count_ ? m2_ : 0.0; }
   double sum() const noexcept { return mean_ * static_cast<double>(count_); }
 
  private:

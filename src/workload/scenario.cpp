@@ -45,6 +45,25 @@ const char* to_string(Scheme scheme) noexcept {
   return "unknown";
 }
 
+Scheme scheme_from_string(const std::string& name) {
+  if (name == "nodelay" || name == "no-delay") return Scheme::kNoDelay;
+  if (name == "unlimited" || name == "delay+unlimited-buffers") {
+    return Scheme::kUnlimitedDelay;
+  }
+  if (name == "droptail" || name == "delay+drop-tail") return Scheme::kDropTail;
+  if (name == "rcad" || name == "delay+limited-buffers(RCAD)") {
+    return Scheme::kRcad;
+  }
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+SourceKind source_kind_from_string(const std::string& name) {
+  if (name == "periodic") return SourceKind::kPeriodic;
+  if (name == "poisson") return SourceKind::kPoisson;
+  if (name == "bursty") return SourceKind::kBursty;
+  throw std::invalid_argument("unknown source kind: " + name);
+}
+
 namespace {
 
 net::DisciplineFactory make_factory(const PaperScenario& s) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/delay_buffer.h"
@@ -19,6 +20,11 @@ enum class Scheme {
 
 const char* to_string(Scheme scheme) noexcept;
 
+/// Inverse of to_string(Scheme); also accepts the CLI short names
+/// ("nodelay", "unlimited", "droptail", "rcad"). Throws
+/// std::invalid_argument on unknown names.
+Scheme scheme_from_string(const std::string& name);
+
 /// Which creation process drives the sources: the paper's periodic
 /// generators, the Poisson process its analysis assumes, or ON/OFF bursts
 /// at the same average rate (see workload/burst_source.h).
@@ -29,6 +35,10 @@ enum class SourceKind {
 };
 
 const char* to_string(SourceKind kind) noexcept;
+
+/// Inverse of to_string(SourceKind). Throws std::invalid_argument on
+/// unknown names.
+SourceKind source_kind_from_string(const std::string& name);
 
 /// The paper's simulation setup (§5.2), parameterized for sweeps: the
 /// Figure-1 topology (four sources with hop counts 15/22/9/11 converging on

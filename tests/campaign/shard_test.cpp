@@ -1,0 +1,165 @@
+#include "campaign/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "workload/scenario.h"
+
+namespace tempriv::campaign {
+namespace {
+
+std::vector<workload::PaperScenario> two_points() {
+  workload::PaperScenario a;
+  a.interarrival = 2.0;
+  workload::PaperScenario b;
+  b.interarrival = 6.0;
+  b.scheme = workload::Scheme::kDropTail;
+  return {a, b};
+}
+
+TEST(ShardSpecTest, ParseAcceptsWellFormedSpecs) {
+  const ShardSpec all = parse_shard_spec("0/1");
+  EXPECT_EQ(all.index, 0u);
+  EXPECT_EQ(all.count, 1u);
+  EXPECT_TRUE(all.is_all());
+
+  const ShardSpec mid = parse_shard_spec("3/8");
+  EXPECT_EQ(mid.index, 3u);
+  EXPECT_EQ(mid.count, 8u);
+  EXPECT_FALSE(mid.is_all());
+}
+
+TEST(ShardSpecTest, ParseRejectsMalformedSpecs) {
+  for (const char* bad : {"", "3", "3/", "/8", "3/0", "8/8", "9/8", "a/8",
+                          "3/b", "-1/8", "3/8/2", "3 /8", "3/ 8", "0x3/8"}) {
+    EXPECT_THROW(parse_shard_spec(bad), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(ShardSpecTest, OwnershipPartitionsEveryJobExactlyOnce) {
+  // For any N, the shards' owned sets must partition [0, total): this is the
+  // invariant that makes merge(shard 0..N-1) == serial.
+  const std::size_t total = 23;
+  for (const std::uint32_t count : {1u, 2u, 3u, 8u, 23u, 40u}) {
+    std::size_t owned_total = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const ShardSpec spec{i, count};
+      std::size_t owned = 0;
+      for (std::size_t job = 0; job < total; ++job) {
+        if (spec.owns(job)) ++owned;
+      }
+      EXPECT_EQ(owned, shard_jobs_owned(total, spec))
+          << "shard " << i << "/" << count;
+      owned_total += owned;
+    }
+    EXPECT_EQ(owned_total, total) << "count " << count;
+    for (std::size_t job = 0; job < total; ++job) {
+      std::uint32_t owners = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (ShardSpec{i, count}.owns(job)) ++owners;
+      }
+      EXPECT_EQ(owners, 1u) << "job " << job << " with count " << count;
+    }
+  }
+}
+
+TEST(ShardSpecTest, ShardedExpandKeepsGlobalIndicesAndSeeds) {
+  const std::vector<workload::PaperScenario> points = two_points();
+  const std::vector<JobSpec> all = CampaignRunner::expand(points, 3);
+  const ShardSpec spec{1, 2};
+  const std::vector<JobSpec> owned = CampaignRunner::expand(points, 3, spec);
+  ASSERT_EQ(owned.size(), shard_jobs_owned(all.size(), spec));
+  for (const JobSpec& job : owned) {
+    EXPECT_TRUE(spec.owns(job.index));
+    // The sharded job is the identical job the serial expansion produced —
+    // same index, same point, same derived seed.
+    const JobSpec& serial = all.at(job.index);
+    EXPECT_EQ(job.point, serial.point);
+    EXPECT_EQ(job.replication, serial.replication);
+    EXPECT_EQ(job.scenario.seed, serial.scenario.seed);
+  }
+}
+
+TEST(ShardHeaderTest, JsonRoundTripsExactly) {
+  ShardHeader header;
+  header.manifest =
+      make_manifest("fig2a", "fig2a_mse", 4, two_points());
+  header.shard = ShardSpec{2, 5};
+  header.jobs_owned = shard_jobs_owned(header.manifest.total_jobs, header.shard);
+
+  const std::string line = shard_header_json(header);
+  const ShardHeader parsed = parse_shard_header(line, "test");
+  EXPECT_EQ(parsed.manifest.schema, header.manifest.schema);
+  EXPECT_EQ(parsed.manifest.sweep, "fig2a");
+  EXPECT_EQ(parsed.manifest.tag, "fig2a_mse");
+  EXPECT_EQ(parsed.manifest.base_seed, header.manifest.base_seed);
+  EXPECT_EQ(parsed.manifest.reps, 4u);
+  EXPECT_EQ(parsed.manifest.points, 2u);
+  EXPECT_EQ(parsed.manifest.total_jobs, 8u);
+  EXPECT_EQ(parsed.manifest.config_hash, header.manifest.config_hash);
+  EXPECT_EQ(parsed.shard.index, 2u);
+  EXPECT_EQ(parsed.shard.count, 5u);
+  EXPECT_EQ(parsed.jobs_owned, header.jobs_owned);
+  // Re-serializing the parsed header reproduces the exact line.
+  EXPECT_EQ(shard_header_json(parsed), line);
+}
+
+TEST(ShardHeaderTest, ParseRejectsNonHeaders) {
+  EXPECT_THROW(parse_shard_header("", "t"), std::runtime_error);
+  EXPECT_THROW(parse_shard_header("{}", "t"), std::runtime_error);
+  EXPECT_THROW(parse_shard_header("{\"job\":0}", "t"), std::runtime_error);
+  EXPECT_THROW(parse_shard_header("not json", "t"), std::runtime_error);
+}
+
+TEST(ConfigHashTest, SensitiveToEveryRelevantParameter) {
+  const std::vector<workload::PaperScenario> base = two_points();
+  const std::uint64_t hash = campaign_config_hash("tag", 2, base);
+
+  // Same inputs, same hash (the hash is a pure function).
+  EXPECT_EQ(campaign_config_hash("tag", 2, base), hash);
+
+  // Each knob moves the hash: reps, tag, and any scenario field.
+  EXPECT_NE(campaign_config_hash("tag", 3, base), hash);
+  EXPECT_NE(campaign_config_hash("other", 2, base), hash);
+
+  auto mutated = base;
+  mutated[0].interarrival += 1.0;
+  EXPECT_NE(campaign_config_hash("tag", 2, mutated), hash);
+
+  mutated = base;
+  mutated[1].seed += 1;
+  EXPECT_NE(campaign_config_hash("tag", 2, mutated), hash);
+
+  mutated = base;
+  mutated[0].buffer_slots += 1;
+  EXPECT_NE(campaign_config_hash("tag", 2, mutated), hash);
+
+  mutated = base;
+  mutated[1].scheme = workload::Scheme::kNoDelay;
+  EXPECT_NE(campaign_config_hash("tag", 2, mutated), hash);
+
+  // Point order matters too (the jobs would land on different indices).
+  auto swapped = base;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(campaign_config_hash("tag", 2, swapped), hash);
+}
+
+TEST(ConfigHashTest, HexRenderingIsSixteenLowerHexDigits) {
+  const std::string hex = config_hash_hex(0x0123456789abcdefull);
+  EXPECT_EQ(hex, "0123456789abcdef");
+  EXPECT_EQ(config_hash_hex(0).size(), 16u);
+}
+
+TEST(ShardArtifactTest, StemEncodesShardAndCount) {
+  EXPECT_EQ(shard_artifact_stem("fig2a_mse", ShardSpec{2, 8}),
+            "fig2a_mse.shard-2-of-8");
+}
+
+}  // namespace
+}  // namespace tempriv::campaign

@@ -1,0 +1,91 @@
+#include "campaign/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tempriv::campaign {
+namespace {
+
+/// Parent-side aggregate of everything the shard pipes delivered. Progress
+/// delivery is at-least-once-per-written-line and in-order per pipe, so the
+/// totals below are exact when every child exits cleanly.
+class CountingListener : public ProgressListener {
+ public:
+  void job_done(std::uint64_t sim_events) override {
+    ++jobs_;
+    events_ += sim_events;
+  }
+  std::uint64_t jobs() const { return jobs_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  std::uint64_t jobs_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+TEST(SupervisorTest, AggregatesProgressAcrossAllShards) {
+  CountingListener listener;
+  std::string error;
+  const int rc = run_shard_fleet(
+      3, &listener,
+      [](const ShardSpec& shard, int progress_fd) {
+        PipeProgress progress(progress_fd);
+        for (int j = 0; j < 5; ++j) progress.job_done(100 + shard.index);
+        return 0;
+      },
+      &error);
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_EQ(listener.jobs(), 15u);
+  EXPECT_EQ(listener.events(), 5u * (100 + 101 + 102));
+}
+
+TEST(SupervisorTest, NonzeroChildExitFailsTheFleet) {
+  std::string error;
+  const int rc = run_shard_fleet(
+      3, nullptr,
+      [](const ShardSpec& shard, int) { return shard.index == 1 ? 7 : 0; },
+      &error);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(error.find("shard 1/3"), std::string::npos) << error;
+  EXPECT_NE(error.find("7"), std::string::npos) << error;
+}
+
+TEST(SupervisorTest, ThrowingChildFailsTheFleet) {
+  std::string error;
+  const int rc = run_shard_fleet(
+      2, nullptr,
+      [](const ShardSpec& shard, int) -> int {
+        if (shard.index == 0) throw std::runtime_error("boom");
+        return 0;
+      },
+      &error);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(error.find("shard 0/2"), std::string::npos) << error;
+}
+
+TEST(SupervisorTest, SignaledChildIsDescribed) {
+  std::string error;
+  const int rc = run_shard_fleet(
+      2, nullptr,
+      [](const ShardSpec& shard, int) {
+        if (shard.index == 1) ::raise(SIGKILL);
+        return 0;
+      },
+      &error);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(error.find("signal"), std::string::npos) << error;
+}
+
+TEST(SupervisorTest, ZeroShardsIsRejected) {
+  std::string error;
+  EXPECT_NE(run_shard_fleet(0, nullptr,
+                            [](const ShardSpec&, int) { return 0; }, &error),
+            0);
+}
+
+}  // namespace
+}  // namespace tempriv::campaign

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# End-to-end CLI test for the sharded campaign pipeline:
+#
+#   1. usage errors (malformed --jobs/--reps/--seed, bad --shard) exit 2;
+#   2. a small grid run as 3 shards + tempriv-merge reproduces the serial
+#      JSONL / stats / CSV byte for byte;
+#   3. tempriv-merge --check passes a clean shard set and reports a
+#      corrupted one (tampered header, missing shard) with exit 1;
+#   4. --shard auto:2 (fork supervisor + auto-merge) matches serial too.
+#
+# Usage: campaign_cli_test.sh <tempriv-campaign> <tempriv-merge>
+
+set -u
+
+CAMPAIGN=${1:?usage: campaign_cli_test.sh <tempriv-campaign> <tempriv-merge>}
+MERGE=${2:?usage: campaign_cli_test.sh <tempriv-campaign> <tempriv-merge>}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+FAILURES=0
+note_failure() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+expect_exit() {
+  # expect_exit <wanted-code> <description> <cmd...>
+  local wanted=$1 what=$2
+  shift 2
+  "$@" >"$WORK/out.log" 2>"$WORK/err.log"
+  local got=$?
+  if [ "$got" -ne "$wanted" ]; then
+    echo "--- stderr ---" >&2
+    cat "$WORK/err.log" >&2
+    note_failure "$what: expected exit $wanted, got $got"
+  fi
+}
+
+expect_same() {
+  # expect_same <description> <file-a> <file-b>
+  if ! cmp -s "$2" "$3"; then
+    note_failure "$1: $2 and $3 differ"
+    diff "$2" "$3" | head -5 >&2
+  fi
+}
+
+# --- 1. usage errors exit 2 with a friendly message ----------------------
+
+expect_exit 2 "malformed --jobs" "$CAMPAIGN" fig2a --jobs 4x --quiet
+expect_exit 2 "malformed --reps" "$CAMPAIGN" fig2a --reps 1.5 --quiet
+expect_exit 2 "negative --seed" "$CAMPAIGN" fig2a --seed -1 --quiet
+expect_exit 2 "empty --jobs" "$CAMPAIGN" fig2a --jobs '' --quiet
+expect_exit 2 "overflowing --seed" "$CAMPAIGN" fig2a --seed 99999999999999999999 --quiet
+expect_exit 2 "bad shard index" "$CAMPAIGN" fig2a --shard 3/2 --quiet
+expect_exit 2 "bad shard syntax" "$CAMPAIGN" fig2a --shard 1:2 --quiet
+expect_exit 2 "zero auto shards" "$CAMPAIGN" fig2a --shard auto:0 --quiet
+expect_exit 2 "unknown sweep" "$CAMPAIGN" nosuchsweep --quiet
+expect_exit 2 "unknown option" "$CAMPAIGN" fig2a --frobnicate --quiet
+expect_exit 2 "missing value" "$CAMPAIGN" fig2a --jobs
+expect_exit 0 "--help" "$CAMPAIGN" --help
+if ! grep -q "wants a non-negative integer" "$WORK/err.log" 2>/dev/null; then
+  "$CAMPAIGN" fig2a --jobs 4x --quiet 2>"$WORK/err.log"
+  grep -q "wants a non-negative integer" "$WORK/err.log" ||
+    note_failure "malformed --jobs: friendly message missing"
+fi
+
+# --- 2. serial vs 3 shards + merge, byte for byte ------------------------
+
+GRID_ARGS=(grid --interarrival 2,4 --scheme rcad,droptail --packets 80 --reps 2 --quiet)
+
+expect_exit 0 "serial grid run" \
+  "$CAMPAIGN" "${GRID_ARGS[@]}" --out "$WORK/serial"
+for i in 0 1 2; do
+  expect_exit 0 "shard $i/3 run" \
+    "$CAMPAIGN" "${GRID_ARGS[@]}" --out "$WORK/shards" --shard "$i/3"
+done
+
+SHARDS=("$WORK"/shards/campaign_grid.shard-*-of-3.jsonl)
+expect_exit 0 "merge --check (clean)" "$MERGE" --check "${SHARDS[@]}"
+expect_exit 0 "merge" "$MERGE" --out "$WORK/merged" "${SHARDS[@]}"
+
+for f in campaign_grid.jsonl campaign_grid.stats.json campaign_grid.csv; do
+  expect_same "merge vs serial ($f)" "$WORK/serial/$f" "$WORK/merged/$f"
+done
+
+# --- 3. --check on corrupted shard sets ----------------------------------
+
+# Missing shard: only two of the three artifacts.
+expect_exit 1 "merge --check (missing shard)" \
+  "$MERGE" --check "${SHARDS[0]}" "${SHARDS[1]}"
+
+# Tampered header: flip the base seed in shard 1's header line.
+mkdir -p "$WORK/corrupt"
+for i in 0 1 2; do
+  cp "$WORK/shards/campaign_grid.shard-$i-of-3.jsonl" \
+     "$WORK/shards/campaign_grid.shard-$i-of-3.stats.json" "$WORK/corrupt/"
+done
+sed -i '1s/"base_seed":[0-9]*/"base_seed":424242/' \
+  "$WORK/corrupt/campaign_grid.shard-1-of-3.jsonl"
+expect_exit 1 "merge --check (tampered base seed)" \
+  "$MERGE" --check "$WORK/corrupt"/campaign_grid.shard-*-of-3.jsonl
+"$MERGE" --check "$WORK/corrupt"/campaign_grid.shard-*-of-3.jsonl \
+  2>"$WORK/check.log"
+grep -q "base_seed" "$WORK/check.log" ||
+  note_failure "--check did not name the tampered base_seed"
+
+# Duplicate shard: the same index twice.
+expect_exit 1 "merge --check (duplicate shard)" \
+  "$MERGE" --check "${SHARDS[0]}" "${SHARDS[0]}" "${SHARDS[1]}" "${SHARDS[2]}"
+
+# --check writes nothing even when the set is clean.
+[ ! -e "$WORK/shards/campaign_grid.jsonl" ] ||
+  note_failure "--check wrote an output file"
+
+# --- 4. --shard auto:2 supervisor matches serial -------------------------
+
+expect_exit 0 "auto:2 supervised run" \
+  "$CAMPAIGN" "${GRID_ARGS[@]}" --out "$WORK/auto" --shard auto:2
+for f in campaign_grid.jsonl campaign_grid.stats.json campaign_grid.csv; do
+  expect_same "auto:2 vs serial ($f)" "$WORK/serial/$f" "$WORK/auto/$f"
+done
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "campaign CLI test: all checks passed"

@@ -3,6 +3,8 @@
 //
 //   tempriv-campaign fig2a --jobs 8
 //   tempriv-campaign buffer --reps 5 --jsonl buffer.jsonl
+//   tempriv-campaign fig2a --shard 1/4          # run only shard 1 of 4
+//   tempriv-campaign fig2a --shard auto:4       # fork 4 shards, auto-merge
 //   tempriv-campaign grid --interarrival 2:20:2 --buffer-slots 5,10,20
 //       --scheme rcad,droptail --packets 500 --seed 42
 //
@@ -12,21 +14,38 @@
 // their serial bench/ counterpart at the default seed. Replication 0 of each
 // point keeps the scenario's own seed; replication r > 0 reseeds with
 // sim::derive_seed (see sim/seed.h).
+//
+// Sharding: --shard i/N runs only the jobs whose global index ≡ i (mod N)
+// and writes self-describing shard artifacts for tempriv-merge; --shard
+// auto:N forks N local shard processes, streams one aggregated progress
+// meter, and merges the shards back into the same files a serial run
+// writes, byte for byte.
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "campaign/merge.h"
+#include "campaign/supervisor.h"
 #include "campaign/sweeps.h"
 
 namespace {
 
 using namespace tempriv;
+
+/// Bad command line (unknown flag, malformed number, ...): reported with a
+/// pointer at --help and exit code 2, distinct from runtime failures (1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 int usage(std::ostream& os, int code) {
   os << "usage: tempriv-campaign <sweep>|grid [options]\n"
@@ -38,8 +57,13 @@ int usage(std::ostream& os, int code) {
         "  --jobs N             worker threads (default: hardware concurrency)\n"
         "  --reps R             replications per scenario point (default 1)\n"
         "  --seed S             base seed for every point (default: paper seed)\n"
+        "  --shard i/N          run only shard i of N (jobs with index % N == i)\n"
+        "                       and write shard artifacts for tempriv-merge\n"
+        "  --shard auto:N       fork N local shard processes, aggregate their\n"
+        "                       progress, and auto-merge when all succeed\n"
         "  --jsonl PATH         write the per-job JSONL result log here\n"
-        "                       (default: <results-dir>/<tag>.jsonl)\n"
+        "                       (default: <results-dir>/<tag>.jsonl, or the\n"
+        "                       shard-stamped stem under --shard i/N)\n"
         "  --out DIR            results directory (default: $TEMPRIV_RESULTS_DIR\n"
         "                       or bench_results/)\n"
         "  --quiet              suppress the progress meter\n"
@@ -56,15 +80,62 @@ int usage(std::ostream& os, int code) {
   return code;
 }
 
-std::vector<double> parse_axis(const std::string& text) {
+/// Strict non-negative integer: digits only, fully consumed, in range.
+/// "12x", "-3", "" and "99999999999999999999999" all raise UsageError —
+/// std::stoul would silently accept the first and mangle the rest.
+std::uint64_t parse_u64_arg(const std::string& flag, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw UsageError(flag + " wants a non-negative integer, got '" + text +
+                     "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    throw UsageError(flag + " value out of range: '" + text + "'");
+  }
+  return value;
+}
+
+std::uint32_t parse_u32_arg(const std::string& flag, const std::string& text) {
+  const std::uint64_t value = parse_u64_arg(flag, text);
+  if (value > 0xffffffffull) {
+    throw UsageError(flag + " value out of range: '" + text + "'");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Strict finite double, fully consumed.
+double parse_double_arg(const std::string& flag, const std::string& text) {
+  if (text.empty()) throw UsageError(flag + " wants a number, got ''");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      !std::isfinite(value)) {
+    throw UsageError(flag + " wants a number, got '" + text + "'");
+  }
+  return value;
+}
+
+std::vector<double> parse_axis(const std::string& flag,
+                               const std::string& text) {
   std::vector<double> values;
   if (text.find(':') != std::string::npos) {  // lo:hi:step range
-    double lo = 0.0, hi = 0.0, step = 0.0;
-    char c1 = 0, c2 = 0;
+    std::vector<std::string> parts;
     std::istringstream in(text);
-    if (!(in >> lo >> c1 >> hi >> c2 >> step) || c1 != ':' || c2 != ':' ||
-        step <= 0.0 || hi < lo) {
-      throw std::invalid_argument("bad range (want lo:hi:step): " + text);
+    std::string part;
+    while (std::getline(in, part, ':')) parts.push_back(part);
+    if (parts.size() != 3) {
+      throw UsageError(flag + " wants lo:hi:step, got '" + text + "'");
+    }
+    const double lo = parse_double_arg(flag, parts[0]);
+    const double hi = parse_double_arg(flag, parts[1]);
+    const double step = parse_double_arg(flag, parts[2]);
+    if (step <= 0.0 || hi < lo) {
+      throw UsageError(flag + " wants lo:hi:step with step > 0 and hi >= lo, "
+                       "got '" + text + "'");
     }
     for (double v = lo; v <= hi; v += step) values.push_back(v);
     return values;
@@ -72,18 +143,10 @@ std::vector<double> parse_axis(const std::string& text) {
   std::istringstream in(text);
   std::string item;
   while (std::getline(in, item, ',')) {
-    if (!item.empty()) values.push_back(std::stod(item));
+    if (!item.empty()) values.push_back(parse_double_arg(flag, item));
   }
-  if (values.empty()) throw std::invalid_argument("empty axis: " + text);
+  if (values.empty()) throw UsageError(flag + " got an empty list");
   return values;
-}
-
-workload::Scheme parse_scheme(const std::string& name) {
-  if (name == "nodelay") return workload::Scheme::kNoDelay;
-  if (name == "unlimited") return workload::Scheme::kUnlimitedDelay;
-  if (name == "droptail") return workload::Scheme::kDropTail;
-  if (name == "rcad") return workload::Scheme::kRcad;
-  throw std::invalid_argument("unknown scheme: " + name);
 }
 
 std::vector<workload::Scheme> parse_schemes(const std::string& text) {
@@ -91,19 +154,21 @@ std::vector<workload::Scheme> parse_schemes(const std::string& text) {
   std::istringstream in(text);
   std::string item;
   while (std::getline(in, item, ',')) {
-    if (!item.empty()) schemes.push_back(parse_scheme(item));
+    if (item.empty()) continue;
+    try {
+      schemes.push_back(workload::scheme_from_string(item));
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
   }
-  if (schemes.empty()) throw std::invalid_argument("empty scheme list");
+  if (schemes.empty()) throw UsageError("--scheme got an empty list");
   return schemes;
 }
 
-}  // namespace
+enum class ShardMode { kSerial, kSingle, kAuto };
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage(std::cerr, 2);
-  const std::string sweep_name = argv[1];
-  if (sweep_name == "--help" || sweep_name == "-h") return usage(std::cout, 0);
-
+struct Options {
+  std::string sweep_name;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::uint32_t reps = 1;
   bool quiet = false;
@@ -111,105 +176,284 @@ int main(int argc, char** argv) {
   bool seed_set = false;
   std::uint64_t seed = 0;
   std::string jsonl_path;
+  ShardMode mode = ShardMode::kSerial;
+  campaign::ShardSpec shard;       // kSingle
+  std::uint32_t fleet_shards = 0;  // kAuto
   campaign::GridSpec grid;
+};
 
+void parse_shard_arg(Options& opt, const std::string& text) {
+  if (text.rfind("auto:", 0) == 0) {
+    opt.fleet_shards = parse_u32_arg("--shard auto:", text.substr(5));
+    if (opt.fleet_shards == 0) {
+      throw UsageError("--shard auto:N wants N >= 1, got '" + text + "'");
+    }
+    opt.mode = ShardMode::kAuto;
+    return;
+  }
   try {
-    for (int i = 2; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto value = [&]() -> std::string {
-        if (i + 1 >= argc) {
-          throw std::invalid_argument("missing value for " + arg);
+    opt.shard = campaign::parse_shard_spec(text);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+  // "0/1" also takes this path and stamps shard artifacts — it is a
+  // one-shard campaign, and the determinism suite merges it to prove
+  // merge(1 shard) == serial.
+  opt.mode = ShardMode::kSingle;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  opt.sweep_name = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      opt.jobs = static_cast<std::size_t>(parse_u64_arg(arg, value()));
+    } else if (arg == "--reps") {
+      opt.reps = parse_u32_arg(arg, value());
+      if (opt.reps == 0) throw UsageError("--reps must be >= 1");
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64_arg(arg, value());
+      opt.seed_set = true;
+    } else if (arg == "--shard") {
+      parse_shard_arg(opt, value());
+    } else if (arg == "--jsonl") {
+      opt.jsonl_path = value();
+    } else if (arg == "--out") {
+      setenv("TEMPRIV_RESULTS_DIR", value().c_str(), /*overwrite=*/1);
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--interarrival") {
+      opt.grid.interarrivals = parse_axis(arg, value());
+    } else if (arg == "--buffer-slots") {
+      opt.grid.buffer_slots.clear();
+      for (const double v : parse_axis(arg, value())) {
+        if (v < 0.0 || v != std::floor(v)) {
+          throw UsageError("--buffer-slots wants non-negative integers");
         }
-        return argv[++i];
-      };
-      if (arg == "--jobs") {
-        jobs = std::stoul(value());
-      } else if (arg == "--reps") {
-        reps = static_cast<std::uint32_t>(std::stoul(value()));
-        if (reps == 0) throw std::invalid_argument("--reps must be >= 1");
-      } else if (arg == "--seed") {
-        seed = std::stoull(value());
-        seed_set = true;
-      } else if (arg == "--jsonl") {
-        jsonl_path = value();
-      } else if (arg == "--out") {
-        setenv("TEMPRIV_RESULTS_DIR", value().c_str(), /*overwrite=*/1);
-      } else if (arg == "--quiet") {
-        quiet = true;
-      } else if (arg == "--trace") {
-        trace = true;
-      } else if (arg == "--interarrival") {
-        grid.interarrivals = parse_axis(value());
-      } else if (arg == "--buffer-slots") {
-        grid.buffer_slots.clear();
-        for (const double v : parse_axis(value())) {
-          grid.buffer_slots.push_back(static_cast<std::size_t>(v));
-        }
-      } else if (arg == "--scheme") {
-        grid.schemes = parse_schemes(value());
-      } else if (arg == "--packets") {
-        grid.base.packets_per_source =
-            static_cast<std::uint32_t>(std::stoul(value()));
-      } else if (arg == "--mean-delay") {
-        grid.base.mean_delay = std::stod(value());
-      } else {
-        std::cerr << "unknown option: " << arg << "\n";
-        return usage(std::cerr, 2);
+        opt.grid.buffer_slots.push_back(static_cast<std::size_t>(v));
       }
+    } else if (arg == "--scheme") {
+      opt.grid.schemes = parse_schemes(value());
+    } else if (arg == "--packets") {
+      opt.grid.base.packets_per_source = parse_u32_arg(arg, value());
+    } else if (arg == "--mean-delay") {
+      opt.grid.base.mean_delay = parse_double_arg(arg, value());
+    } else {
+      throw UsageError("unknown option: " + arg);
     }
+  }
+  return opt;
+}
 
-    campaign::Sweep sweep = sweep_name == "grid"
-                                ? campaign::grid_sweep(grid)
-                                : campaign::make_named_sweep(sweep_name);
-    if (seed_set) {
-      for (workload::PaperScenario& point : sweep.points) point.seed = seed;
-    }
-    if (trace) {
-      for (workload::PaperScenario& point : sweep.points) point.trace = true;
-    }
+std::ofstream open_output(const std::string& path) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  return file;
+}
 
-    const std::size_t total_jobs = sweep.points.size() * reps;
-    campaign::ProgressReporter progress(std::cerr, total_jobs);
-    campaign::RunnerOptions options;
-    options.threads = jobs;
-    if (!quiet) options.progress = &progress;
+/// Runs one shard to its two artifact files. Shared by --shard i/N (in
+/// process) and --shard auto:N (inside each forked child).
+void run_one_shard(const campaign::Sweep& sweep, const Options& opt,
+                   const campaign::ShardSpec& shard, std::size_t threads,
+                   campaign::ProgressListener* progress,
+                   const std::string& jsonl_path) {
+  campaign::RunnerOptions options;
+  options.threads = threads;
+  options.progress = progress;
+  std::ofstream jsonl_file = open_output(jsonl_path);
+  std::ofstream stats_file = open_output(campaign::shard_stats_path(jsonl_path));
+  campaign::run_sweep_shard(sweep, options, opt.reps, shard, jsonl_file,
+                            stats_file);
+  jsonl_file.flush();
+  stats_file.flush();
+  if (!jsonl_file || !stats_file) {
+    throw std::runtime_error("short write on shard artifacts for " +
+                             jsonl_path);
+  }
+}
 
-    if (jsonl_path.empty()) {
-      jsonl_path = bench::results_dir() + "/" + sweep.tag + ".jsonl";
-    }
-    std::error_code ec;
-    std::filesystem::create_directories(
-        std::filesystem::path(jsonl_path).parent_path(), ec);
-    std::ofstream jsonl_file(jsonl_path);
-    if (!jsonl_file) {
-      std::cerr << "cannot open " << jsonl_path << " for writing\n";
-      return 1;
-    }
-    campaign::JsonlSink jsonl(jsonl_file);
-    campaign::MergedStatsSink stats(sweep.points.size());
+std::string shard_jsonl_path(const std::string& dir, const std::string& tag,
+                             const campaign::ShardSpec& shard) {
+  return dir + "/" + campaign::shard_artifact_stem(tag, shard) + ".jsonl";
+}
 
-    const campaign::SweepRun run =
-        campaign::run_sweep(sweep, options, reps, {&jsonl, &stats});
-    if (!quiet) progress.finish();
+int run_single_shard(const campaign::Sweep& sweep, const Options& opt) {
+  const std::size_t total_jobs = sweep.points.size() * opt.reps;
+  const std::size_t owned = campaign::shard_jobs_owned(total_jobs, opt.shard);
+  const std::string jsonl_path =
+      opt.jsonl_path.empty()
+          ? shard_jsonl_path(bench::results_dir(), sweep.tag, opt.shard)
+          : opt.jsonl_path;
 
-    bench::emit(sweep.tag, run.table);
-    std::cout << "(jsonl: " << jsonl_path << ")\n";
-    const campaign::CampaignStats& total = stats.total();
-    std::cout << "campaign: " << total.jobs << " jobs ("
-              << sweep.points.size() << " points x " << reps
-              << " reps), " << total.sim_events << " simulator events\n"
-              << "  flow mean latency: mean "
-              << metrics::format_number(total.flow_latency.mean(), 2)
-              << "  min " << metrics::format_number(total.flow_latency.min(), 2)
-              << "  max " << metrics::format_number(total.flow_latency.max(), 2)
-              << "\n  flow MSE (baseline adversary): mean "
-              << metrics::format_number(total.flow_mse_baseline.mean(), 1)
-              << "  stddev "
-              << metrics::format_number(total.flow_mse_baseline.stddev(), 1)
-              << "\n";
+  campaign::ProgressReporter progress(std::cerr, owned);
+  run_one_shard(sweep, opt, opt.shard, opt.jobs,
+                opt.quiet ? nullptr : &progress, jsonl_path);
+  if (!opt.quiet) progress.finish();
+
+  std::cout << "shard " << opt.shard.index << "/" << opt.shard.count << ": "
+            << owned << " of " << total_jobs << " jobs\n"
+            << "(jsonl: " << jsonl_path << ")\n"
+            << "(stats: " << campaign::shard_stats_path(jsonl_path) << ")\n";
+  return 0;
+}
+
+int run_shard_fleet_and_merge(const campaign::Sweep& sweep,
+                              const Options& opt) {
+  const std::size_t total_jobs = sweep.points.size() * opt.reps;
+  const std::uint32_t shards = opt.fleet_shards;
+  const std::string merged_jsonl =
+      opt.jsonl_path.empty()
+          ? bench::results_dir() + "/" + sweep.tag + ".jsonl"
+          : opt.jsonl_path;
+  std::string dir =
+      std::filesystem::path(merged_jsonl).parent_path().string();
+  if (dir.empty()) dir = ".";
+
+  // Split the machine across the fleet unless the user pinned --jobs, which
+  // then applies per child.
+  std::size_t child_threads = opt.jobs;
+  if (child_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    child_threads = hw > shards ? hw / shards : 1;
+  }
+
+  campaign::ProgressReporter progress(std::cerr, total_jobs);
+  campaign::ProgressListener* listener = opt.quiet ? nullptr : &progress;
+
+  // Fork the fleet before any thread exists in this process (fork and
+  // threads do not mix); each child spawns its own worker pool.
+  std::string fleet_error;
+  const int rc = campaign::run_shard_fleet(
+      shards, listener,
+      [&](const campaign::ShardSpec& shard, int progress_fd) {
+        try {
+          campaign::PipeProgress pipe_progress(progress_fd);
+          run_one_shard(sweep, opt, shard, child_threads, &pipe_progress,
+                        shard_jsonl_path(dir, sweep.tag, shard));
+          return 0;
+        } catch (const std::exception& e) {
+          std::cerr << "tempriv-campaign [shard " << shard.index << "/"
+                    << shard.count << "]: " << e.what() << "\n";
+          return 1;
+        }
+      },
+      &fleet_error);
+  if (rc != 0) {
+    throw std::runtime_error("shard fleet failed: " + fleet_error);
+  }
+  if (!opt.quiet) progress.finish();
+
+  std::vector<campaign::ShardInput> inputs;
+  inputs.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    inputs.push_back(campaign::load_shard_files(
+        shard_jsonl_path(dir, sweep.tag, campaign::ShardSpec{i, shards})));
+  }
+  const campaign::MergedCampaign merged = campaign::merge_shards(inputs);
+
+  open_output(merged_jsonl) << merged.jsonl;
+  const std::string stats_path = campaign::shard_stats_path(merged_jsonl);
+  open_output(stats_path) << merged.stats_json;
+
+  bench::emit(sweep.tag, merged.table);
+  std::cout << "(jsonl: " << merged_jsonl << ")\n"
+            << "(stats: " << stats_path << ")\n";
+  campaign::print_campaign_summary(std::cout, merged.total,
+                                   sweep.points.size(), opt.reps);
+  return 0;
+}
+
+int run_serial(const campaign::Sweep& sweep, const Options& opt) {
+  const std::size_t total_jobs = sweep.points.size() * opt.reps;
+  campaign::ProgressReporter progress(std::cerr, total_jobs);
+  campaign::RunnerOptions options;
+  options.threads = opt.jobs;
+  if (!opt.quiet) options.progress = &progress;
+
+  const std::string jsonl_path =
+      opt.jsonl_path.empty()
+          ? bench::results_dir() + "/" + sweep.tag + ".jsonl"
+          : opt.jsonl_path;
+  std::ofstream jsonl_file = open_output(jsonl_path);
+  campaign::JsonlSink jsonl(jsonl_file);
+  campaign::MergedStatsSink stats(sweep.points.size());
+
+  const campaign::SweepRun run =
+      campaign::run_sweep(sweep, options, opt.reps, {&jsonl, &stats});
+  if (!opt.quiet) progress.finish();
+
+  // The stats artifact of the whole campaign — the file an N-shard merge
+  // must reproduce byte for byte.
+  const campaign::CampaignManifest manifest = campaign::make_manifest(
+      sweep.name, sweep.tag, opt.reps, sweep.points);
+  const std::string stats_path = campaign::shard_stats_path(jsonl_path);
+  {
+    std::ofstream stats_file = open_output(stats_path);
+    campaign::write_campaign_stats_json(stats_file, manifest, nullptr, stats);
+  }
+
+  bench::emit(sweep.tag, run.table);
+  std::cout << "(jsonl: " << jsonl_path << ")\n"
+            << "(stats: " << stats_path << ")\n";
+  campaign::print_campaign_summary(std::cout, stats.total(),
+                                   sweep.points.size(), opt.reps);
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  campaign::Sweep sweep;
+  try {
+    sweep = opt.sweep_name == "grid" ? campaign::grid_sweep(opt.grid)
+                                     : campaign::make_named_sweep(opt.sweep_name);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+  if (opt.seed_set) {
+    for (workload::PaperScenario& point : sweep.points) point.seed = opt.seed;
+  }
+  if (opt.trace) {
+    for (workload::PaperScenario& point : sweep.points) point.trace = true;
+  }
+
+  switch (opt.mode) {
+    case ShardMode::kSingle:
+      return run_single_shard(sweep, opt);
+    case ShardMode::kAuto:
+      return run_shard_fleet_and_merge(sweep, opt);
+    case ShardMode::kSerial:
+      break;
+  }
+  return run_serial(sweep, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string first = argv[1];
+  if (first == "--help" || first == "-h") return usage(std::cout, 0);
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "tempriv-campaign: " << e.what() << "\n"
+              << "run 'tempriv-campaign --help' for usage\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "tempriv-campaign: " << e.what() << "\n";
     return 1;
   }
-  return 0;
 }

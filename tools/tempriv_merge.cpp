@@ -1,0 +1,159 @@
+// tempriv-merge — validate and combine per-shard campaign artifacts back
+// into the files a serial run writes, byte for byte.
+//
+//   tempriv-merge out/fig2a_mse.shard-*-of-4.jsonl
+//   tempriv-merge --check out/fig2a_mse.shard-*-of-4.jsonl
+//   tempriv-merge --jsonl merged.jsonl shard0.jsonl shard1.jsonl
+//
+// Each positional argument is a shard JSONL artifact written by
+// `tempriv-campaign --shard i/N`; its `.stats.json` sibling is loaded by
+// naming convention. The merge first validates the set (matching manifests
+// and config hash, no duplicate or missing shards, every record on its
+// owner's stride, stats siblings agreeing with their JSONL), then:
+//
+//  - interleaves the shards' verbatim JSONL lines in ascending job index —
+//    the serial log is reproduced without recomputing a single simulation;
+//  - replays the parsed records through the merged-stats sink in the same
+//    job-index order the serial run consumed them (Welford folds are
+//    order-sensitive, so in-order replay is what makes the stats artifact
+//    byte-identical), cross-checking the shard stats histograms via
+//    Histogram::merge / IntegerHistogram::merge;
+//  - re-renders the figure CSV from the replication-0 results.
+//
+// --check performs only the validation and reports every problem found
+// (missing/duplicate shards, incompatible manifests, truncated files),
+// writing nothing. Exit codes: 0 ok, 1 validation/merge failure, 2 usage.
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "campaign/merge.h"
+
+namespace {
+
+using namespace tempriv;
+
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+int usage(std::ostream& os, int code) {
+  os << "usage: tempriv-merge [options] <shard.jsonl>...\n"
+        "\n"
+        "options:\n"
+        "  --check         validate the shard set and report every problem\n"
+        "                  (missing/duplicate/incompatible shards, truncated\n"
+        "                  files); writes nothing. exit 0 iff mergeable\n"
+        "  --jsonl PATH    write the merged JSONL here\n"
+        "                  (default: <results-dir>/<tag>.jsonl)\n"
+        "  --out DIR       results directory (default: $TEMPRIV_RESULTS_DIR\n"
+        "                  or bench_results/)\n"
+        "\n"
+        "Merged outputs (JSONL, stats JSON, figure CSV) are byte-identical\n"
+        "to the serial `tempriv-campaign` run of the same campaign.\n";
+  return code;
+}
+
+int run(int argc, char** argv) {
+  bool check_only = false;
+  std::string jsonl_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--jsonl") {
+      jsonl_path = value();
+    } else if (arg == "--out") {
+      setenv("TEMPRIV_RESULTS_DIR", value().c_str(), /*overwrite=*/1);
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw UsageError("unknown option: " + arg);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) {
+    throw UsageError("no shard artifacts given");
+  }
+
+  std::vector<campaign::ShardInput> shards;
+  shards.reserve(shard_paths.size());
+  for (const std::string& path : shard_paths) {
+    shards.push_back(campaign::load_shard_files(path));
+  }
+
+  if (check_only) {
+    const campaign::MergeCheck check = campaign::check_shards(shards);
+    if (check.ok()) {
+      const campaign::CampaignManifest& m = shards.front().header.manifest;
+      std::cout << "ok: " << shards.size() << " shard(s) of " << m.sweep
+                << " (" << m.total_jobs << " jobs, config "
+                << campaign::config_hash_hex(m.config_hash)
+                << ") ready to merge\n";
+      return 0;
+    }
+    for (const std::string& error : check.errors) {
+      std::cerr << "tempriv-merge: " << error << "\n";
+    }
+    std::cerr << "tempriv-merge: " << check.errors.size()
+              << " problem(s); shard set cannot merge\n";
+    return 1;
+  }
+
+  const campaign::MergedCampaign merged = campaign::merge_shards(shards);
+  if (jsonl_path.empty()) {
+    jsonl_path = bench::results_dir() + "/" + merged.manifest.tag + ".jsonl";
+  }
+  std::error_code ec;
+  const auto parent = std::filesystem::path(jsonl_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  {
+    std::ofstream jsonl_file(jsonl_path);
+    if (!jsonl_file) {
+      throw std::runtime_error("cannot open " + jsonl_path + " for writing");
+    }
+    jsonl_file << merged.jsonl;
+  }
+  const std::string stats_path = campaign::shard_stats_path(jsonl_path);
+  {
+    std::ofstream stats_file(stats_path);
+    if (!stats_file) {
+      throw std::runtime_error("cannot open " + stats_path + " for writing");
+    }
+    stats_file << merged.stats_json;
+  }
+
+  bench::emit(merged.manifest.tag, merged.table);
+  std::cout << "(jsonl: " << jsonl_path << ")\n"
+            << "(stats: " << stats_path << ")\n";
+  campaign::print_campaign_summary(std::cout, merged.total,
+                                   merged.manifest.points,
+                                   merged.manifest.reps);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string first = argv[1];
+  if (first == "--help" || first == "-h") return usage(std::cout, 0);
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "tempriv-merge: " << e.what() << "\n"
+              << "run 'tempriv-merge --help' for usage\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "tempriv-merge: " << e.what() << "\n";
+    return 1;
+  }
+}
