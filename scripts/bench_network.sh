@@ -5,7 +5,9 @@
 # writes BENCH_network.json at the repo root. When the committed pre-rewrite
 # baselines bench_results/network_before.json (micro) and
 # bench_results/network_before_e2e.json (end-to-end medians) are present,
-# speedups are computed against their medians.
+# speedups are computed against their medians; same for the PR-4 captures
+# bench_results/network_pr4{,_e2e}.json, which also drive the PR-8
+# acceptance gates reported under "targets".
 # Schema: see "Packet-path benchmark trajectory" in EXPERIMENTS.md.
 #
 #   scripts/bench_network.sh [build-dir]            # default: build
@@ -29,6 +31,8 @@ else
 fi
 BASELINE=bench_results/network_before.json
 BASELINE_E2E=bench_results/network_before_e2e.json
+BASELINE_PR4=bench_results/network_pr4.json
+BASELINE_PR4_E2E=bench_results/network_pr4_e2e.json
 OUT=BENCH_network.json
 
 cmake --build "$BUILD_DIR" --target micro_packet_path tempriv-campaign -j >/dev/null
@@ -56,13 +60,13 @@ for sweep in fig2a fig2b; do
 done
 
 python3 - "$MICRO_JSON" "$E2E_TIMES" "$BASELINE" "$BASELINE_E2E" "$OUT" \
-  "$REPS" "$E2E_RUNS" <<'PY'
+  "$REPS" "$E2E_RUNS" "$BASELINE_PR4" "$BASELINE_PR4_E2E" <<'PY'
 import json
 import sys
 import time
 
 (micro_path, e2e_path, baseline_path, baseline_e2e_path, out_path,
- reps, e2e_runs) = sys.argv[1:8]
+ reps, e2e_runs, pr4_path, pr4_e2e_path) = sys.argv[1:10]
 micro = json.load(open(micro_path))
 
 def medians(report):
@@ -128,6 +132,54 @@ if baseline_e2e:
             e2e_speedup[sweep] = round(
                 before["median_wall_seconds"] / entry["median_wall_seconds"], 2)
 
+pr4 = load(pr4_path)
+pr4_medians = medians(pr4) if pr4 is not None else None
+speedup_pr4 = {}
+if pr4_medians:
+    for name, entry in current.items():
+        if name in pr4_medians and entry["median_us"] > 0:
+            speedup_pr4[name] = round(
+                pr4_medians[name]["median_us"] / entry["median_us"], 2)
+
+pr4_e2e = load(pr4_e2e_path)
+e2e_speedup_pr4 = {}
+if pr4_e2e:
+    for sweep, entry in e2e.items():
+        before = pr4_e2e.get("e2e", {}).get(sweep, {})
+        if before.get("median_wall_seconds") and entry["median_wall_seconds"] > 0:
+            e2e_speedup_pr4[sweep] = round(
+                before["median_wall_seconds"] / entry["median_wall_seconds"], 2)
+
+# PR-8 acceptance gates, evaluated against the per-item rates (items =
+# packets x hops for the forwarding benchmarks, packets for the batch
+# crypto ones) and the PR-4 end-to-end medians.
+def per_item_ns(name):
+    ips = current.get(name, {}).get("items_per_second")
+    return round(1e9 / ips, 1) if ips else None
+
+targets = {
+    "forward_per_hop_ns": {
+        "target": "< 100",
+        "measured": per_item_ns("BM_ForwardPerHop"),
+    },
+    "seal_open_batched_ns_per_item": {
+        "target": "< 150",
+        "measured": per_item_ns("BM_SealOpenBatchRoundTrip"),
+    },
+}
+for sweep in ("fig2a", "fig2b"):
+    if sweep in e2e_speedup_pr4:
+        targets[f"e2e_{sweep}_speedup_vs_pr4"] = {
+            "target": ">= 1.3",
+            "measured": e2e_speedup_pr4[sweep],
+        }
+for gate in targets.values():
+    if gate["measured"] is not None:
+        op, bound = gate["target"].split()
+        ok = (gate["measured"] < float(bound) if op == "<"
+              else gate["measured"] >= float(bound))
+        gate["pass"] = bool(ok)
+
 doc = {
     "schema": "tempriv-bench-network/1",
     "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -136,6 +188,7 @@ doc = {
     "context": micro.get("context", {}),
     "benchmarks": current,
     "e2e": e2e,
+    "targets": targets,
 }
 if baseline_medians is not None:
     doc["baseline"] = {
@@ -150,6 +203,19 @@ if baseline_e2e is not None:
         "e2e": baseline_e2e.get("e2e", {}),
     }
     doc["e2e_speedup_vs_baseline"] = e2e_speedup
+if pr4_medians is not None:
+    doc["baseline_pr4"] = {
+        "source": pr4_path,
+        "benchmarks": {n: {"median_us": e["median_us"]}
+                       for n, e in pr4_medians.items()},
+    }
+    doc["speedup_vs_pr4"] = speedup_pr4
+if pr4_e2e is not None:
+    doc["baseline_pr4_e2e"] = {
+        "source": pr4_e2e_path,
+        "e2e": pr4_e2e.get("e2e", {}),
+    }
+    doc["e2e_speedup_vs_pr4"] = e2e_speedup_pr4
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
@@ -167,5 +233,10 @@ for sweep in sorted(e2e):
     line = f"  e2e {sweep}: {e2e[sweep]['median_wall_seconds']} s"
     if sweep in e2e_speedup:
         line += f"  ({e2e_speedup[sweep]}x vs baseline)"
+    if sweep in e2e_speedup_pr4:
+        line += f"  ({e2e_speedup_pr4[sweep]}x vs pr4)"
     print(line)
+for name, gate in targets.items():
+    status = {True: "PASS", False: "FAIL", None: "n/a"}[gate.get("pass")]
+    print(f"  target {name}: {gate['measured']} ({gate['target']}) {status}")
 PY

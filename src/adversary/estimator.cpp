@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "queueing/erlang.h"
-
 namespace tempriv::adversary {
 
 void Adversary::on_delivery(const net::Packet& packet, sim::Time arrival) {
-  FlowObservation& obs = flow_stats_[packet.header.origin];
+  FlowState& flow = flows_[packet.header.origin];
+  FlowObservation& obs = flow.obs;
   if (obs.packets == 0) obs.first_arrival = arrival;
   ++obs.packets;
   obs.last_arrival = arrival;
@@ -21,19 +20,19 @@ void Adversary::on_delivery(const net::Packet& packet, sim::Time arrival) {
   est.arrival = arrival;
   est.estimated_creation = estimate_creation(packet.header, arrival, obs);
   estimates_.push_back(est);
-  estimates_by_flow_[est.flow].push_back(est);
+  flow.estimates.push_back(est);
 }
 
 const std::vector<Estimate>& Adversary::estimates_for_flow(
     net::NodeId flow) const {
   static const std::vector<Estimate> kEmpty;
-  const auto it = estimates_by_flow_.find(flow);
-  return it != estimates_by_flow_.end() ? it->second : kEmpty;
+  const auto it = flows_.find(flow);
+  return it != flows_.end() ? it->second.estimates : kEmpty;
 }
 
 double Adversary::total_rate_estimate() const noexcept {
   double total = 0.0;
-  for (const auto& [flow, obs] : flow_stats_) total += obs.rate_estimate();
+  for (const auto& [flow, state] : flows_) total += state.obs.rate_estimate();
   return total;
 }
 
@@ -52,15 +51,15 @@ double BaselineAdversary::estimate_creation(const net::RoutingHeader& header,
   return arrival - h * hop_tx_delay_ - h * mean_delay_per_hop_;
 }
 
-AdaptiveAdversary::AdaptiveAdversary(const Config& config) : config_(config) {
+AdaptiveAdversary::AdaptiveAdversary(const Config& config)
+    : config_(config),
+      // Throws invalid_argument itself when loss_threshold is outside (0,1).
+      erlang_test_(config.loss_threshold, config.buffer_slots) {
   if (config.hop_tx_delay < 0.0 || config.mean_delay_per_hop < 0.0) {
     throw std::invalid_argument("AdaptiveAdversary: negative delay knowledge");
   }
   if (config.buffer_slots == 0) {
     throw std::invalid_argument("AdaptiveAdversary: buffer_slots must be >= 1");
-  }
-  if (config.loss_threshold <= 0.0 || config.loss_threshold >= 1.0) {
-    throw std::invalid_argument("AdaptiveAdversary: threshold outside (0,1)");
   }
 }
 
@@ -84,8 +83,7 @@ double AdaptiveAdversary::estimate_creation(const net::RoutingHeader& header,
   double per_hop_delay = config_.mean_delay_per_hop;
   if (test_rate > 0.0) {
     const double rho = test_rate / mu;
-    if (queueing::erlang_loss(rho, config_.buffer_slots) >
-        config_.loss_threshold) {
+    if (erlang_test_.above(rho)) {
       const double flow_rate = obs.rate_estimate();
       if (flow_rate > 0.0) {
         preemption_regime_ = true;

@@ -7,6 +7,7 @@
 
 #include "net/network.h"
 #include "net/packet.h"
+#include "queueing/erlang.h"
 
 namespace tempriv::adversary {
 
@@ -39,7 +40,7 @@ class Adversary : public net::SinkObserver {
   const std::vector<Estimate>& estimates_for_flow(net::NodeId flow) const;
 
   /// Distinct origins seen so far.
-  std::size_t flows_observed() const noexcept { return flow_stats_.size(); }
+  std::size_t flows_observed() const noexcept { return flows_.size(); }
 
  protected:
   /// Per-flow observation state every adversary gets for free: the paper's
@@ -98,8 +99,17 @@ class Adversary : public net::SinkObserver {
                                    double arrival,
                                    const FlowObservation& obs) = 0;
 
-  const std::map<net::NodeId, FlowObservation>& flow_observations() const noexcept {
-    return flow_stats_;
+  /// Everything tracked per flow, in one map node: the observation state
+  /// and the flow-restricted estimate copies (duplicated from estimates_,
+  /// not indexed by position, so neither container invalidates the other
+  /// as they grow). One tree lookup per delivery serves both.
+  struct FlowState {
+    FlowObservation obs;
+    std::vector<Estimate> estimates;
+  };
+
+  const std::map<net::NodeId, FlowState>& flow_states() const noexcept {
+    return flows_;
   }
 
   /// Sum of per-flow rate estimates — λ̂tot for the Erlang-loss test.
@@ -107,10 +117,7 @@ class Adversary : public net::SinkObserver {
 
  private:
   std::vector<Estimate> estimates_;
-  /// Per-flow copies of estimates_ (duplicated, not indexed by position, so
-  /// neither container invalidates the other as they grow).
-  std::map<net::NodeId, std::vector<Estimate>> estimates_by_flow_;
-  std::map<net::NodeId, FlowObservation> flow_stats_;
+  std::map<net::NodeId, FlowState> flows_;
 };
 
 /// Baseline adversary (§2.1 extended in §5.1): knows the hop count h from
@@ -171,6 +178,10 @@ class AdaptiveAdversary final : public Adversary {
 
  private:
   Config config_;
+  /// Certified form of `erlang_loss(rho, k) > loss_threshold`: this runs
+  /// once per delivered packet, and the predicate answers with a single
+  /// comparison instead of k serial divides (bit-identical decisions).
+  queueing::ErlangLossThreshold erlang_test_;
   bool preemption_regime_ = false;
 };
 

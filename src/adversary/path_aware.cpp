@@ -3,26 +3,28 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "queueing/erlang.h"
-
 namespace tempriv::adversary {
 
 PathAwareAdversary::PathAwareAdversary(const Config& config,
                                        const net::Topology& topology,
                                        const net::RoutingTable& routing)
-    : config_(config), topology_(topology), routing_(routing) {
+    : config_(config),
+      // Throws invalid_argument itself when loss_threshold is outside (0,1).
+      erlang_test_(config.loss_threshold, config.buffer_slots),
+      topology_(topology),
+      routing_(routing) {
   if (config.hop_tx_delay < 0.0 || config.mean_delay_per_hop < 0.0) {
     throw std::invalid_argument("PathAwareAdversary: negative delay knowledge");
   }
   if (config.buffer_slots == 0) {
     throw std::invalid_argument("PathAwareAdversary: buffer_slots must be >= 1");
   }
-  if (config.loss_threshold <= 0.0 || config.loss_threshold >= 1.0) {
-    throw std::invalid_argument("PathAwareAdversary: threshold outside (0,1)");
-  }
   path_cache_.resize(topology.node_count());
   path_cached_.assign(topology.node_count(), 0);
   rates_.assign(topology.node_count(), 0.0);
+  flow_rate_.assign(topology.node_count(), 0.0);
+  flow_known_.assign(topology.node_count(), 0);
+  node_flows_.resize(topology.node_count());
 }
 
 const std::vector<net::NodeId>& PathAwareAdversary::path_of(net::NodeId flow) {
@@ -38,23 +40,35 @@ const std::vector<net::NodeId>& PathAwareAdversary::path_of(net::NodeId flow) {
   return path_cache_[flow];
 }
 
-void PathAwareAdversary::accumulate_node_rates() {
-  // flow_observations() iterates flows in ascending origin order, so every
-  // per-node sum adds the same operands in the same order as the map-based
-  // implementation did — the attribution is bit-identical.
-  std::fill(rates_.begin(), rates_.end(), 0.0);
-  for (const auto& [flow, obs] : flow_observations()) {
-    const double rate = obs.rate_estimate();
-    if (rate <= 0.0) continue;
+void PathAwareAdversary::update_flow_rate(net::NodeId flow, double rate) {
+  if (!flow_known_[flow]) {
+    // First packet of this flow: enter it in the crossing list of every
+    // node on its path, keeping each list ascending so re-sums add flow
+    // rates in the same order a full origin-ordered sweep would.
     for (const net::NodeId node : path_of(flow)) {
-      if (node != topology_.sink()) rates_[node] += rate;
+      if (node == topology_.sink()) continue;
+      auto& flows = node_flows_[node];
+      flows.insert(std::lower_bound(flows.begin(), flows.end(), flow), flow);
     }
+    flow_known_[flow] = 1;
+  }
+  flow_rate_[flow] = rate;
+  // A zero rate contributes exactly +0.0 to an all-nonnegative sum, so
+  // re-summing over every crossing flow (rather than skipping idle ones)
+  // reproduces the skip-if-zero sweep bit for bit.
+  for (const net::NodeId node : path_of(flow)) {
+    if (node == topology_.sink()) continue;
+    double sum = 0.0;
+    for (const net::NodeId crossing : node_flows_[node]) {
+      sum += flow_rate_[crossing];
+    }
+    rates_[node] = sum;
   }
 }
 
 double PathAwareAdversary::estimate_creation(const net::RoutingHeader& header,
                                              double arrival,
-                                             const FlowObservation&) {
+                                             const FlowObservation& obs) {
   const double h = static_cast<double>(header.hop_count);
   if (config_.mean_delay_per_hop == 0.0) {
     return arrival - h * config_.hop_tx_delay;  // no privacy delays deployed
@@ -68,21 +82,19 @@ double PathAwareAdversary::estimate_creation(const net::RoutingHeader& header,
     return arrival - h * (config_.hop_tx_delay + config_.mean_delay_per_hop);
   }
 
-  accumulate_node_rates();
+  // Only this flow's observation changed since the last estimate, so only
+  // its path's nodes need fresh rate sums.
+  update_flow_rate(header.origin, obs.rate_estimate());
   double total_delay = 0.0;
   for (const net::NodeId node : path_of(header.origin)) {
     if (node == topology_.sink()) continue;
     total_delay += config_.hop_tx_delay;
     double node_delay = config_.mean_delay_per_hop;
     const double rate = rates_[node];
-    if (rate > 0.0) {
-      const double rho = rate / mu;
-      if (queueing::erlang_loss(rho, config_.buffer_slots) >
-          config_.loss_threshold) {
-        node_delay = std::min(
-            config_.mean_delay_per_hop,
-            static_cast<double>(config_.buffer_slots) / rate);
-      }
+    if (rate > 0.0 && erlang_test_.above(rate / mu)) {
+      node_delay = std::min(
+          config_.mean_delay_per_hop,
+          static_cast<double>(config_.buffer_slots) / rate);
     }
     total_delay += node_delay;
   }

@@ -46,19 +46,28 @@ class PathAwareAdversary final : public Adversary {
  private:
   const std::vector<net::NodeId>& path_of(net::NodeId flow);
 
-  /// Recomputes the per-node rate attribution from the observed flow rates
-  /// into rates_. All per-delivery state is flat and node-indexed (rates,
-  /// path cache) and reused across calls: the previous implementation built
-  /// a fresh std::map per delivered packet, which dominated the adversary's
-  /// cost on long runs.
-  void accumulate_node_rates();
+  /// Refreshes the per-node rate attribution after flow `flow`'s observed
+  /// rate changed to `rate`. Only `flow`'s own rate moves per delivery, so
+  /// only the nodes on its path need new sums; each affected node re-sums
+  /// its crossing flows' cached rates in ascending flow order — the same
+  /// operands in the same order as a full recompute over every observed
+  /// flow, so the attribution stays bit-identical while the per-delivery
+  /// cost drops from O(flows × path) to O(path × flows-per-path-node).
+  void update_flow_rate(net::NodeId flow, double rate);
 
   Config config_;
+  /// Certified `erlang_loss(rho, k) > loss_threshold`: one comparison per
+  /// path node per delivery instead of the k-divide recurrence.
+  queueing::ErlangLossThreshold erlang_test_;
   const net::Topology& topology_;
   const net::RoutingTable& routing_;
   std::vector<std::vector<net::NodeId>> path_cache_;  // index = flow origin
   std::vector<char> path_cached_;
-  std::vector<double> rates_;  // index = NodeId; rebuilt per estimate
+  std::vector<double> rates_;      // index = NodeId; updated incrementally
+  std::vector<double> flow_rate_;  // index = flow origin; last observed rate
+  std::vector<char> flow_known_;   // flow already entered in node_flows_
+  /// For each node, the routable flows whose path crosses it, ascending.
+  std::vector<std::vector<net::NodeId>> node_flows_;
 };
 
 }  // namespace tempriv::adversary

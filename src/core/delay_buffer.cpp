@@ -65,35 +65,36 @@ void DelayBuffer::unlink(std::uint32_t slot) noexcept {
   s.prev = s.next = kNilSlot;
 }
 
-bool DelayBuffer::heap_precedes(std::uint32_t a, std::uint32_t b) const noexcept {
-  const Slot& sa = slots_[a];
-  const Slot& sb = slots_[b];
-  if (sa.held.release_time != sb.held.release_time) {
-    return policy_ == VictimPolicy::kLongestRemaining
-               ? sa.held.release_time > sb.held.release_time
-               : sa.held.release_time < sb.held.release_time;
-  }
-  return sa.admit_seq < sb.admit_seq;
+bool DelayBuffer::heap_precedes(const HeapNode& a,
+                                const HeapNode& b) const noexcept {
+  if (a.key != b.key) return a.key < b.key;
+  return a.admit_seq < b.admit_seq;
 }
 
 void DelayBuffer::heap_push(std::uint32_t slot) {
-  heap_.push_back(slot);
-  slots_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
-  heap_sift_up(slots_[slot].heap_pos);
+  const Slot& s = slots_[slot];
+  HeapNode node;
+  node.key = policy_ == VictimPolicy::kLongestRemaining
+                 ? -s.held.release_time
+                 : s.held.release_time;
+  node.admit_seq = s.admit_seq;
+  node.slot = slot;
+  heap_.push_back(node);
+  heap_sift(static_cast<std::uint32_t>(heap_.size() - 1), node);
 }
 
-void DelayBuffer::heap_sift_up(std::uint32_t pos) noexcept {
+void DelayBuffer::heap_sift(std::uint32_t pos, HeapNode node) noexcept {
+  // Up first: move parents down into the hole while they order after the
+  // node (one node move per level, never a swap).
   while (pos > 0) {
     const std::uint32_t parent = (pos - 1) / 2;
-    if (!heap_precedes(heap_[pos], heap_[parent])) break;
-    std::swap(heap_[pos], heap_[parent]);
-    slots_[heap_[pos]].heap_pos = pos;
-    slots_[heap_[parent]].heap_pos = parent;
+    if (!heap_precedes(node, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = pos;
     pos = parent;
   }
-}
-
-void DelayBuffer::heap_sift_down(std::uint32_t pos) noexcept {
+  // Then down: pull the smaller child up into the hole while it orders
+  // before the node. At most one direction actually moves.
   const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
   while (true) {
     const std::uint32_t left = 2 * pos + 1;
@@ -101,12 +102,13 @@ void DelayBuffer::heap_sift_down(std::uint32_t pos) noexcept {
     const std::uint32_t right = left + 1;
     std::uint32_t best = left;
     if (right < n && heap_precedes(heap_[right], heap_[left])) best = right;
-    if (!heap_precedes(heap_[best], heap_[pos])) break;
-    std::swap(heap_[pos], heap_[best]);
-    slots_[heap_[pos]].heap_pos = pos;
-    slots_[heap_[best]].heap_pos = best;
+    if (!heap_precedes(heap_[best], node)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot].heap_pos = pos;
     pos = best;
   }
+  heap_[pos] = node;
+  slots_[node.slot].heap_pos = pos;
 }
 
 void DelayBuffer::heap_remove(std::uint32_t slot) noexcept {
@@ -114,12 +116,9 @@ void DelayBuffer::heap_remove(std::uint32_t slot) noexcept {
   slots_[slot].heap_pos = kNilSlot;
   const std::uint32_t last = static_cast<std::uint32_t>(heap_.size() - 1);
   if (pos != last) {
-    const std::uint32_t moved = heap_[last];
-    heap_[pos] = moved;
-    slots_[moved].heap_pos = pos;
+    const HeapNode moved = heap_[last];
     heap_.pop_back();
-    heap_sift_up(pos);
-    heap_sift_down(slots_[moved].heap_pos);
+    heap_sift(pos, moved);
   } else {
     heap_.pop_back();
   }
@@ -153,7 +152,7 @@ std::uint32_t DelayBuffer::victim_slot(sim::RandomStream& rng) const {
   switch (policy_) {
     case VictimPolicy::kShortestRemaining:
     case VictimPolicy::kLongestRemaining:
-      return heap_.front();
+      return heap_.front().slot;
     case VictimPolicy::kOldest:
       return head_;
     case VictimPolicy::kRandom: {

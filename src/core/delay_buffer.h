@@ -34,6 +34,12 @@ const char* to_string(VictimPolicy policy) noexcept;
 /// O(n) vector erase. Victim choice is bit-identical to a linear first-wins
 /// scan over the admission order (see select_victim, kept as the reference
 /// implementation), so simulation outputs are unchanged.
+///
+/// The heap stores its ordering keys (release_time, admit_seq) inline in
+/// each node rather than slot indices alone: a Slot spans two cache lines
+/// (the packet payload lives inline), so keyed nodes keep every sift
+/// comparison inside the heap array instead of chasing two random slots
+/// per compare.
 class DelayBuffer {
  public:
   struct Held {
@@ -94,6 +100,18 @@ class DelayBuffer {
     bool live = false;
   };
 
+  /// Heap node: the ordering keys ride along with the slot index, so sift
+  /// compares stay inside the (dense) heap array. A live slot's
+  /// release_time and admit_seq never change, so the copies cannot go
+  /// stale. `key` is the release time, negated under kLongestRemaining so
+  /// both policies compare ascending with no branch (negation is exact and
+  /// preserves ties, so victim choice is unchanged).
+  struct HeapNode {
+    double key = 0.0;
+    std::uint64_t admit_seq = 0;
+    std::uint32_t slot = kNilSlot;
+  };
+
   bool uses_heap() const noexcept {
     return policy_ == VictimPolicy::kShortestRemaining ||
            policy_ == VictimPolicy::kLongestRemaining;
@@ -101,15 +119,16 @@ class DelayBuffer {
   /// Heap order: the policy's victim at the root, admission order (first
   /// admitted wins) breaking release-time ties — exactly the element a
   /// first-strict-win linear scan over admission order selects.
-  bool heap_precedes(std::uint32_t a, std::uint32_t b) const noexcept;
+  bool heap_precedes(const HeapNode& a, const HeapNode& b) const noexcept;
 
   std::uint32_t acquire_slot();
   void link_back(std::uint32_t slot) noexcept;
   void unlink(std::uint32_t slot) noexcept;
   void heap_push(std::uint32_t slot);
   void heap_remove(std::uint32_t slot) noexcept;
-  void heap_sift_up(std::uint32_t pos) noexcept;
-  void heap_sift_down(std::uint32_t pos) noexcept;
+  /// Re-sites `node` starting at hole `pos`, whichever direction it must
+  /// move; writes it once at its final position (hole-based, no swaps).
+  void heap_sift(std::uint32_t pos, HeapNode node) noexcept;
 
   std::uint32_t victim_slot(sim::RandomStream& rng) const;
   /// Removes the packet in `slot` from every structure and returns it.
@@ -119,7 +138,7 @@ class DelayBuffer {
   std::unique_ptr<DelayDistribution> delay_;
   VictimPolicy policy_;
   std::vector<Slot> slots_;
-  std::vector<std::uint32_t> heap_;  // slot indices; only for heap policies
+  std::vector<HeapNode> heap_;  // keyed nodes; only for heap policies
   std::uint32_t free_head_ = kNilSlot;
   std::uint32_t head_ = kNilSlot;  // oldest admission
   std::uint32_t tail_ = kNilSlot;  // newest admission

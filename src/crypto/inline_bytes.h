@@ -68,6 +68,18 @@ class InlineBytes {
     size_ = static_cast<std::uint8_t>(n);
   }
 
+  /// Sets the live size without zero-filling grown bytes — for callers that
+  /// overwrite the full range immediately (e.g. encrypt-into). The contents
+  /// of grown bytes are whatever the buffer held before, never uninitialized
+  /// memory: the backing array is value-initialized at construction.
+  constexpr void resize_for_overwrite(std::size_t n) {
+    if (n > Capacity) {
+      throw std::length_error(
+          "InlineBytes::resize_for_overwrite: beyond fixed capacity");
+    }
+    size_ = static_cast<std::uint8_t>(n);
+  }
+
   constexpr void clear() noexcept { size_ = 0; }
 
   constexpr void push_back(std::uint8_t b) {

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/speck.h"
+
+namespace tempriv::crypto {
+
+/// Executable specification of the CTR keystream and CBC-MAC, one block at a
+/// time — the code the vectorized lane kernels must match bit for bit.
+///
+/// Mirrors the src/infotheory/reference.* discipline: the scalar
+/// block-at-a-time implementations are kept compiled forever, the property
+/// tests compare the production (lane-batched) entry points against them on
+/// randomized key/nonce/length corpora, and `-DTEMPRIV_SCALAR_CRYPTO=ON`
+/// routes the production entry points through these functions outright so a
+/// miscompiled or misported lane kernel can always be bisected against the
+/// spec.
+namespace reference {
+
+/// Keystream block i as a little-endian 64-bit word: E_K(nonce ^ i).
+std::uint64_t keystream_word(const Speck64_128& cipher, std::uint64_t nonce,
+                             std::uint64_t counter) noexcept;
+
+/// Fills `out` with raw keystream bytes for (nonce), block by block.
+void keystream(const Speck64_128& cipher, std::uint64_t nonce,
+               std::span<std::uint8_t> out) noexcept;
+
+/// XORs the keystream into `in`, writing to `out` (may alias exactly).
+void xor_keystream(const Speck64_128& cipher, std::uint64_t nonce,
+                   std::span<const std::uint8_t> in,
+                   std::span<std::uint8_t> out) noexcept;
+
+/// CBC-MAC tag with the message length encrypted as block zero and
+/// zero-padding of the final partial block — one chained block at a time.
+std::uint64_t cbc_mac_tag(const Speck64_128& cipher,
+                          std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace reference
+
+}  // namespace tempriv::crypto

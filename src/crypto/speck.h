@@ -48,6 +48,25 @@ class Speck64_128 {
     }
   }
 
+  /// Multi-lane round kernel: `Lanes` independent (x, y) word pairs advance
+  /// through all 27 rounds in lockstep under this key schedule. The inner
+  /// loop has a compile-time trip count, so it unrolls into straight-line
+  /// `uint32xN` arithmetic the vectorizer maps onto SIMD registers (and an
+  /// out-of-order scalar core still overlaps the independent lane chains).
+  /// This is the primitive behind every batched CTR/CBC-MAC entry point:
+  /// lane l carries counter block l of one keystream, or the CBC chain of
+  /// packet l in a batch — the caller owns the lane layout.
+  template <int Lanes>
+  void encrypt_words_lanes(std::uint32_t* x, std::uint32_t* y) const noexcept {
+    static_assert(Lanes >= 2 && Lanes <= 16, "lane count out of range");
+    for (const std::uint32_t k : round_keys_) {
+      for (int l = 0; l < Lanes; ++l) {
+        x[l] = (ror(x[l], 8) + y[l]) ^ k;
+        y[l] = rol(y[l], 3) ^ x[l];
+      }
+    }
+  }
+
  private:
   static constexpr std::uint32_t ror(std::uint32_t v, int r) noexcept {
     return (v >> r) | (v << (32 - r));

@@ -1,6 +1,7 @@
 #include "queueing/erlang.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace tempriv::queueing {
@@ -74,6 +75,68 @@ double mu_for_target_loss(double lambda, std::uint64_t k, double alpha) {
   if (lambda <= 0.0) throw std::invalid_argument("mu_for_target_loss: lambda <= 0");
   const double rho = max_rho_for_loss(alpha, k);
   return lambda / rho;
+}
+
+ErlangLossThreshold::ErlangLossThreshold(double threshold, std::uint64_t k)
+    : threshold_(threshold), k_(k) {
+  if (threshold <= 0.0 || threshold >= 1.0) {
+    throw std::invalid_argument("ErlangLossThreshold: threshold outside (0,1)");
+  }
+  if (k == 0) {
+    // E(ρ, 0) = 1 > threshold at every offered load.
+    rho_lo_ = -1.0;
+    rho_hi_ = 0.0;
+    return;
+  }
+  // Certification targets. The recurrence accumulates a few ulps of
+  // relative error per step with no cancellation, so a value computed at
+  // least `2 * margin` above (below) the threshold stays above (below) it
+  // for every larger (smaller) rho: the true function is strictly
+  // monotone, and margin dwarfs the computed-vs-true discrepancy.
+  const double margin = 1e-9 + static_cast<double>(k) * 1e-14;
+  const double hi_target = threshold * (1.0 + 2.0 * margin);
+  const double lo_target = threshold * (1.0 - 2.0 * margin);
+
+  // Upper edge: smallest bracketed rho with E(rho, k) >= hi_target.
+  double lo = 0.0;  // E(0, k) = 0 < lo_target
+  double hi = 1.0;
+  while (erlang_loss(hi, k) < hi_target) {
+    hi *= 2.0;
+    if (!(hi < 1e300)) break;  // threshold ~1: certify nothing, always fall back
+  }
+  if (erlang_loss(hi, k) >= hi_target) {
+    double below = lo;
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = 0.5 * (below + hi);
+      if (erlang_loss(mid, k) >= hi_target) {
+        hi = mid;
+      } else {
+        below = mid;
+      }
+    }
+    rho_hi_ = hi;
+  } else {
+    rho_hi_ = std::numeric_limits<double>::infinity();
+  }
+
+  // Lower edge: largest bracketed rho with E(rho, k) <= lo_target.
+  double above_edge = std::isinf(rho_hi_) ? 1e300 : rho_hi_;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + above_edge);
+    if (erlang_loss(mid, k) <= lo_target) {
+      lo = mid;
+    } else {
+      above_edge = mid;
+    }
+  }
+  rho_lo_ = lo;
+
+  // Belt and braces: a finite upper edge must itself test above the
+  // threshold (guards degenerate thresholds, e.g. NaN slipping through
+  // comparisons); the lower edge is always safe because E(0, k) = 0.
+  if (std::isfinite(rho_hi_) && !(erlang_loss(rho_hi_, k) > threshold)) {
+    rho_hi_ = std::numeric_limits<double>::infinity();
+  }
 }
 
 }  // namespace tempriv::queueing

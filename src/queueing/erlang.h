@@ -40,4 +40,50 @@ double max_rho_for_loss(double target_loss, std::uint64_t k);
 /// shrink to keep the drop rate at α. Requires lambda > 0.
 double mu_for_target_loss(double lambda, std::uint64_t k, double alpha);
 
+/// Certified constant-time form of the regime test
+/// `erlang_loss(rho, k) > threshold` that the adaptive adversaries run on
+/// every delivered packet (k serial divides per call through the
+/// recurrence). E(ρ, k) is strictly increasing in ρ, so the test is a
+/// threshold crossing: construction bisects for a window [lo, hi] around
+/// the boundary offered load ρ* with E(lo, k) certifiably at or below the
+/// threshold and E(hi, k) certifiably above it. above() then answers with
+/// one comparison outside the window and falls back to the exact
+/// recurrence inside it, so every answer is bit-for-bit the boolean the
+/// direct computation produces.
+///
+/// The certification margin (~1e-9 relative, plus 1e-14 per recurrence
+/// step) is orders of magnitude wider than the forward error of the
+/// all-positive-terms recurrence (a few ulps per step), and the window it
+/// induces in ρ is ~1e-8 relative — the fallback is unreachable in
+/// practice but keeps the fast path honest.
+class ErlangLossThreshold {
+ public:
+  /// Requires 0 < threshold < 1 (a loss probability). k = 0 is allowed:
+  /// E(ρ, 0) = 1, so the test is constantly true.
+  ErlangLossThreshold(double threshold, std::uint64_t k);
+
+  /// Exactly `erlang_loss(rho, buffer_slots()) > threshold()`.
+  /// Requires rho >= 0 (the direct call throws on negative rho; this
+  /// returns false).
+  bool above(double rho) const noexcept {
+    if (rho >= rho_hi_) return true;
+    if (rho <= rho_lo_) return false;
+    return erlang_loss(rho, k_) > threshold_;
+  }
+
+  double threshold() const noexcept { return threshold_; }
+  std::uint64_t buffer_slots() const noexcept { return k_; }
+
+  /// Certified window bounds, exposed for tests: above() is decided by
+  /// comparison alone outside [window_lo, window_hi].
+  double window_lo() const noexcept { return rho_lo_; }
+  double window_hi() const noexcept { return rho_hi_; }
+
+ private:
+  double threshold_;
+  std::uint64_t k_;
+  double rho_lo_;  ///< rho <= rho_lo_ certifies E(rho, k) <= threshold
+  double rho_hi_;  ///< rho >= rho_hi_ certifies E(rho, k) > threshold
+};
+
 }  // namespace tempriv::queueing

@@ -50,10 +50,19 @@ bool EventQueue::cancel(EventId id) {
   const std::uint32_t slot = aux_slot(aux);
   if (slot >= slot_count_) return false;
   if (slot_at(slot).aux != aux) return false;
+  // A drained event has no lane record to tombstone; just settle the
+  // outstanding count. Otherwise the record stays behind as a tombstone in
+  // whichever lane holds it.
+  if (slot_at(slot).next_free == kDrainedSlot) {
+    --outstanding_;
+  } else if (slot_at(slot).lane != 0) {
+    ++fifo_tomb_;
+  } else {
+    ++heap_tomb_;
+  }
   release_slot(slot);
   --live_count_;
-  // The cancelled event's heap record stays behind as a tombstone; sweep the
-  // head now so next_time() never reports a cancelled event.
+  // Sweep the heads now so next_time() never reports a cancelled event.
   drop_leading_tombstones();
   return true;
 }
@@ -72,9 +81,13 @@ void EventQueue::heap_push(HeapEntry entry) {
   heap_[pos] = entry;
 }
 
-// Removes the root: sift the old back element down through the hole the
-// root leaves, moving each level's smallest child up (one 16-byte move per
-// level, never a swap).
+// Removes the root, bottom-up (Wegener): descend along minimum children to
+// a leaf unconditionally — the displaced back element almost always belongs
+// near the leaves, so comparing against it at every level is wasted work —
+// then bubble it up from the leaf hole the few (usually zero) levels it
+// deserves. The resulting layout can differ from a classic sift-down, but
+// pop order is a property of the (key, aux) multiset — a total order with
+// unique aux — so execution order is unchanged.
 void EventQueue::heap_pop_front() noexcept {
   const HeapEntry last = heap_.back();
   heap_.pop_back();
@@ -84,48 +97,180 @@ void EventQueue::heap_pop_front() noexcept {
   while (true) {
     const std::size_t first_child = 4 * pos + 1;
     if (first_child >= n) break;
+#if defined(__GNUC__) || defined(__clang__)
+    // Start the grandchildren of the likely path toward memory; the min
+    // scan below gives the prefetch one level of lead time.
+    if (4 * first_child + 1 < n) __builtin_prefetch(&heap_[4 * first_child + 1]);
+#endif
     const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
     std::size_t best = first_child;
     for (std::size_t c = first_child + 1; c < end; ++c) {
       if (heap_[c].precedes(heap_[best])) best = c;
     }
-    if (!heap_[best].precedes(last)) break;
     heap_[pos] = heap_[best];
     pos = best;
+  }
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!last.precedes(heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
   }
   heap_[pos] = last;
 }
 
+void EventQueue::fifo_grow() {
+  const std::size_t cap = fifo_.empty() ? 64 : fifo_.size() * 2;
+  std::vector<HeapEntry> grown(cap);
+  for (std::size_t i = 0; i < fifo_size_; ++i) {
+    grown[i] = fifo_[(fifo_head_ + i) & (fifo_.size() - 1)];
+  }
+  fifo_ = std::move(grown);
+  fifo_head_ = 0;
+}
+
 void EventQueue::drop_leading_tombstones() noexcept {
-  // heap_.size() == live_count_ means no cancelled records are in flight, so
-  // cancel-free workloads skip the per-pop slot probe entirely.
-  while (heap_.size() != live_count_ && !entry_live(heap_.front())) {
+  // Each lane's head is probed only while that lane carries dead records —
+  // cancel-free lanes (the fifo lane, in practice) cost one counter branch.
+  // Tombstones still buried mid-lane surface on later pops.
+  while (heap_tomb_ != 0 && !heap_.empty() && !entry_live(heap_.front())) {
     heap_pop_front();
+    --heap_tomb_;
+  }
+  while (fifo_tomb_ != 0 && fifo_size_ != 0 && !entry_live(fifo_front())) {
+    fifo_pop_front();
+    --fifo_tomb_;
   }
 }
 
 std::optional<EventQueue::Event> EventQueue::pop() {
   drop_leading_tombstones();
-  if (heap_.empty()) return std::nullopt;
-  const HeapEntry top = heap_.front();
+  const bool heap_has = !heap_.empty();
+  if (!heap_has && fifo_size_ == 0) return std::nullopt;
+  const bool from_fifo =
+      fifo_size_ != 0 && (!heap_has || fifo_front().precedes(heap_.front()));
+  const HeapEntry top = from_fifo ? fifo_front() : heap_.front();
   const std::uint32_t slot = aux_slot(top.aux);
   // Start pulling the slot (a random-access line) into cache while the
   // sift-down below walks the heap; the two latencies overlap.
 #if defined(__GNUC__) || defined(__clang__)
   __builtin_prefetch(&slot_at(slot), 1);
 #endif
-  heap_pop_front();
+  if (from_fifo) {
+    fifo_pop_front();
+  } else {
+    heap_pop_front();
+  }
   Event event{key_to_time(top.key), EventId(top.aux),
               std::move(slot_at(slot).action)};
   release_slot(slot);
   --live_count_;
-  // The new head may be a tombstone left by an earlier mid-heap cancel.
+  // The new head may be a tombstone left by an earlier mid-lane cancel.
   drop_leading_tombstones();
   return event;
 }
 
+bool EventQueue::pop_if_single(Event& event) {
+  // All the singleton logic lives in the dispatch template; here the
+  // "dispatch" just moves the callback out into the caller's Event.
+  return dispatch_if_single([&event](Time at, EventId id, Callback& action) {
+    event.at = at;
+    event.id = id;
+    event.action = std::move(action);
+  });
+}
+
+Time EventQueue::pop_batch(std::vector<EventId>& out) {
+  out.clear();
+  drop_leading_tombstones();
+  if (heap_.empty() && fifo_size_ == 0) return kTimeInfinity;
+  std::uint64_t key = ~0ull;
+  if (!heap_.empty()) key = heap_.front().key;
+  if (fifo_size_ != 0 && fifo_front().key < key) key = fifo_front().key;
+  while (true) {
+    const bool heap_in = !heap_.empty() && heap_.front().key == key;
+    const bool fifo_in = fifo_size_ != 0 && fifo_front().key == key;
+    if (!heap_in && !fifo_in) break;
+    // Equal keys across lanes: the aux word (its high bits are the global
+    // sequence number) picks the earlier insertion, exactly as precedes().
+    HeapEntry top;
+    bool from_fifo;
+    if (heap_in && (!fifo_in || heap_.front().aux < fifo_front().aux)) {
+      top = heap_.front();
+      heap_pop_front();
+      from_fifo = false;
+    } else {
+      top = fifo_front();
+      fifo_pop_front();
+      from_fifo = true;
+    }
+    // A mid-lane cancel's tombstone may surface inside the equal-key run;
+    // only live records join the batch (their slots stay claimed until
+    // take(), marked drained for cancel()'s bookkeeping). Dead records are
+    // discharged from their lane's tombstone count here.
+    if (entry_live(top)) {
+      Slot& s = slot_at(aux_slot(top.aux));
+      s.next_free = kDrainedSlot;
+      ++outstanding_;
+      out.push_back(EventId(top.aux));
+    } else if (from_fifo) {
+      --fifo_tomb_;
+    } else {
+      --heap_tomb_;
+    }
+  }
+  // The drain may expose a buried tombstone (an earlier mid-lane cancel) at
+  // a new head; sweep so next_time() stays truthful, as pop() does.
+  drop_leading_tombstones();
+  return key_to_time(key);
+}
+
+std::optional<EventQueue::Callback> EventQueue::take(EventId id) {
+  if (!id.valid()) return std::nullopt;
+  const std::uint64_t aux = id.value();
+  const std::uint32_t slot = aux_slot(aux);
+  if (slot >= slot_count_) return std::nullopt;
+  Slot& s = slot_at(slot);
+  if (s.aux != aux) return std::nullopt;
+  // Taking an id still in a lane (the documented cancel-and-return case)
+  // leaves its record behind as a tombstone, like cancel() does.
+  if (s.next_free == kDrainedSlot) {
+    --outstanding_;
+  } else if (s.lane != 0) {
+    ++fifo_tomb_;
+  } else {
+    ++heap_tomb_;
+  }
+  std::optional<Callback> action(std::move(s.action));
+  release_slot(slot);
+  --live_count_;
+  return action;
+}
+
+void EventQueue::restore(Time at, std::span<const EventId> ids) {
+  const std::uint64_t key = time_to_key(at);
+  for (const EventId id : ids) {
+    const std::uint64_t aux = id.value();
+    const std::uint32_t slot = aux_slot(aux);
+    if (aux == 0 || slot >= slot_count_) continue;
+    Slot& s = slot_at(slot);
+    // Only drained events re-enter the heap: an id that was cancelled or
+    // taken has nothing to restore, and one still in the heap must not gain
+    // a duplicate record.
+    if (s.aux != aux || s.next_free != kDrainedSlot) continue;
+    s.next_free = kNilSlot;
+    s.lane = 0;  // the record re-enters via the heap lane
+    --outstanding_;
+    heap_push(HeapEntry{key, aux});
+  }
+}
+
 void EventQueue::clear() {
   heap_.clear();
+  fifo_head_ = 0;
+  fifo_size_ = 0;
+  heap_tomb_ = 0;
+  fifo_tomb_ = 0;
   free_head_ = kNilSlot;
   for (std::uint32_t i = slot_count_; i-- > 0;) {
     Slot& s = slot_at(i);
@@ -135,10 +280,12 @@ void EventQueue::clear() {
     free_head_ = i;
   }
   live_count_ = 0;
+  outstanding_ = 0;
 }
 
 void EventQueue::reserve(std::size_t events) {
   heap_.reserve(events);
+  while (fifo_.size() < events) fifo_grow();
   const std::size_t chunks =
       (events + kChunkSize - 1) / kChunkSize;
   while (chunks_.size() < chunks) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -78,7 +79,37 @@ class EventQueue {
     s.action.emplace(std::forward<F>(action));
     const std::uint64_t aux = next_aux(slot);
     s.aux = aux;
+    s.lane = 0;
     heap_push(HeapEntry{time_to_key(at), aux});
+    ++live_count_;
+    return EventId(aux);
+  }
+
+  /// schedule() for event streams whose times arrive in non-decreasing
+  /// order — constant-latency link arrivals scheduled from a non-decreasing
+  /// simulation clock being the canonical case. Such records bypass the
+  /// heap entirely: they append to a sorted FIFO ring (O(1) insert, O(1)
+  /// pop, one 16-byte slot each) that every pop path merges with the heap
+  /// by the same (time, seq) order, so execution order — and therefore
+  /// every simulation result — is bit-identical to scheduling through the
+  /// heap. Monotonicity is checked, not trusted: a time below the ring's
+  /// tail simply routes through the heap lane, keeping correctness
+  /// unconditional. cancel()/pop_batch()/restore() work on these events
+  /// exactly as on heap-scheduled ones.
+  template <class F>
+  EventId schedule_monotone(Time at, F&& action) {
+    const std::uint64_t key = time_to_key(at);
+    if (fifo_size_ != 0 && key < fifo_tail_key_) {
+      return schedule(at, std::forward<F>(action));
+    }
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_at(slot);
+    s.action.emplace(std::forward<F>(action));
+    const std::uint64_t aux = next_aux(slot);
+    s.aux = aux;
+    s.lane = 1;
+    fifo_push(HeapEntry{key, aux});
+    fifo_tail_key_ = key;
     ++live_count_;
     return EventId(aux);
   }
@@ -91,10 +122,122 @@ class EventQueue {
   /// Removes and returns the earliest pending event, or nullopt if empty.
   std::optional<Event> pop();
 
+  /// Drains every pending record sharing the earliest time-key into `out`
+  /// (cleared first), in insertion order, and returns the shared time
+  /// (kTimeInfinity with an empty batch if the queue is empty). One call
+  /// replaces a pop() per event: the head sweep, key comparison, and
+  /// key→time conversion happen once per *batch* of equal-time events
+  /// instead of once per event.
+  ///
+  /// The drained events' slots are NOT released yet: claim each id with
+  /// take() to run it, or hand unrun ids back with restore(). In between,
+  /// cancel() on a drained id still works (take() then returns nullopt), and
+  /// size() still counts unclaimed events.
+  Time pop_batch(std::vector<EventId>& out);
+
+  /// Fast path for the dominant continuous-time case: when the head cohort
+  /// is exactly one event, pops it into `event` (exactly as pop() would)
+  /// and returns true. Returns false — touching nothing — when the queue is
+  /// empty or the head time-key is shared, in which case pop_batch() drains
+  /// the cohort. The singleton check inspects only the root's direct
+  /// children: heap order forces any entry sharing the head's key to have
+  /// an equal-key ancestor there. This spares singleton cohorts — the vast
+  /// majority under continuous random delays — the drained-slot
+  /// bookkeeping, batch vector traffic, and per-id take() revalidation.
+  bool pop_if_single(Event& event);
+
+  /// pop_if_single() without moving the callback out of its pool slot: when
+  /// the head cohort is exactly one event, invokes
+  /// `dispatch(Time at, EventId id, Callback& action)` with the stored
+  /// callback in place, releases the slot afterwards (even if `dispatch`
+  /// throws), and returns true. The event's handle dies before `dispatch`
+  /// runs, exactly as with pop(); the callback may freely schedule or
+  /// cancel other events while executing — pool chunks never move, and the
+  /// dispatched slot rejoins the free list only after `dispatch` returns.
+  /// This spares the dominant dispatch path one callback move plus a
+  /// destructor call per event.
+  template <class Dispatch>
+  bool dispatch_if_single(Dispatch&& dispatch) {
+    drop_leading_tombstones();
+    const bool heap_has = !heap_.empty();
+    if (!heap_has && fifo_size_ == 0) return false;
+    bool from_fifo;
+    if (heap_has && fifo_size_ != 0) {
+      // The cohort spans both lanes when the lane heads share a key.
+      if (fifo_front().key == heap_.front().key) return false;
+      from_fifo = fifo_front().precedes(heap_.front());
+    } else {
+      from_fifo = !heap_has;
+    }
+    HeapEntry top;
+    if (from_fifo) {
+      top = fifo_front();
+      // The ring is sorted, so only the head's immediate successor can
+      // share its key.
+      if (fifo_size_ >= 2 &&
+          fifo_[(fifo_head_ + 1) & (fifo_.size() - 1)].key == top.key) {
+        return false;
+      }
+    } else {
+      top = heap_.front();
+      // An entry sharing the head's key must have an equal-key ancestor
+      // among the root's direct children (its whole ancestor path carries
+      // keys both <= its own and >= the minimum), so these four
+      // comparisons decide singleton-ness. An equal-key *tombstone* child
+      // sends us down the batch path, where it is merely skipped — rare
+      // and still correct.
+      const std::size_t n = heap_.size();
+      const std::size_t end = n < 5 ? n : 5;
+      for (std::size_t c = 1; c < end; ++c) {
+        if (heap_[c].key == top.key) return false;
+      }
+    }
+    const std::uint32_t slot = aux_slot(top.aux);
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slot_at(slot), 1);
+#endif
+    if (from_fifo) {
+      fifo_pop_front();
+    } else {
+      heap_pop_front();
+    }
+    Slot& s = slot_at(slot);
+    s.aux = 0;  // the handle dies before the callback runs, as with pop()
+    --live_count_;
+    FinishDispatch finisher{*this, slot};
+    dispatch(key_to_time(top.key), EventId(top.aux), s.action);
+    return true;
+  }
+
+  /// Claims an event drained by pop_batch: moves its callback out and frees
+  /// its slot. Returns nullopt if the event was cancelled (or already taken)
+  /// after the drain. Calling this on an id still in the heap is equivalent
+  /// to cancel() plus returning the callback — the heap record tombstones.
+  std::optional<Callback> take(EventId id);
+
+  /// Re-queues drained-but-unclaimed events (stop mid-batch, exception
+  /// unwind) at time `at` — the time pop_batch returned. Ids that were
+  /// cancelled or taken in the meantime are skipped. Relative order among
+  /// restored and later-scheduled events is preserved: the heap orders equal
+  /// times by the original sequence numbers, which the ids carry.
+  void restore(Time at, std::span<const EventId> ids);
+
   /// Time of the earliest pending event, or kTimeInfinity if empty.
   Time next_time() const noexcept {
-    // Leading tombstones are swept on every cancel/pop, so the head is live.
-    return heap_.empty() ? kTimeInfinity : key_to_time(heap_.front().key);
+    // Leading tombstones are swept on every cancel/pop, so both heads are
+    // live; the earliest record is the smaller of the two lane heads.
+    std::uint64_t key = ~0ull;
+    bool any = false;
+    if (!heap_.empty()) {
+      key = heap_.front().key;
+      any = true;
+    }
+    if (fifo_size_ != 0) {
+      const std::uint64_t fkey = fifo_[fifo_head_].key;
+      if (!any || fkey < key) key = fkey;
+      any = true;
+    }
+    return any ? key_to_time(key) : kTimeInfinity;
   }
 
   /// Number of pending (non-cancelled) events.
@@ -131,6 +274,11 @@ class EventQueue {
  private:
   static constexpr std::uint64_t kSignBit = 0x8000000000000000ull;
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  // Marks an occupied slot whose heap record was drained by pop_batch but
+  // not yet claimed/restored. Stored in Slot::next_free (unused while a slot
+  // is occupied), so cancel()/take() can tell a drained event from an
+  // in-heap one and keep the outstanding_ tombstone accounting exact.
+  static constexpr std::uint32_t kDrainedSlot = 0xfffffffeu;
   static constexpr std::uint32_t kSlotBits = 24;
   static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
   // The pool is stored in fixed 1024-slot chunks: growing it allocates a new
@@ -144,6 +292,10 @@ class EventQueue {
     Callback action;
     std::uint64_t aux = 0;  // current occupant's identity; 0 = free
     std::uint32_t next_free = kNilSlot;
+    // Which lane holds the occupant's record (0 heap, 1 fifo): cancelling
+    // charges the tombstone to the right lane's counter, so pops only probe
+    // a lane's head when that lane actually carries dead records.
+    std::uint8_t lane = 0;
   };
 
   struct HeapEntry {
@@ -151,10 +303,21 @@ class EventQueue {
     std::uint64_t aux;  // {seq:40, slot:24}; seq compares in the high bits
 
     // (time, seq) lexicographic order: seq is unique, so comparing the aux
-    // words on key ties is exactly the insertion-order tie-break.
+    // words on key ties is exactly the insertion-order tie-break. The
+    // 128-bit composite compiles to a branchless cmp/sbb pair — heap-order
+    // comparisons on random delays are near-coinflips, so dodging the
+    // branch predictor is worth more than the extra word of arithmetic.
     bool precedes(const HeapEntry& other) const noexcept {
+#if defined(__SIZEOF_INT128__)
+      const auto mine =
+          (static_cast<unsigned __int128>(key) << 64) | aux;
+      const auto theirs =
+          (static_cast<unsigned __int128>(other.key) << 64) | other.aux;
+      return mine < theirs;
+#else
       if (key != other.key) return key < other.key;
       return aux < other.aux;
+#endif
     }
   };
 
@@ -171,6 +334,22 @@ class EventQueue {
   std::uint64_t next_aux(std::uint32_t slot);
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot) noexcept;
+
+  // Scope guard for dispatch_if_single: frees the dispatched slot when the
+  // callback returns or throws (its aux is already 0, so only the action
+  // reset and the free-list push remain), then sweeps any tombstone the
+  // callback's cancels left at a lane head.
+  struct FinishDispatch {
+    EventQueue& queue;
+    std::uint32_t slot;
+    ~FinishDispatch() {
+      Slot& s = queue.slot_at(slot);
+      s.action = Callback{};
+      s.next_free = queue.free_head_;
+      queue.free_head_ = slot;
+      queue.drop_leading_tombstones();
+    }
+  };
   bool entry_live(const HeapEntry& entry) const noexcept {
     return slot_at(aux_slot(entry.aux)).aux == entry.aux;
   }
@@ -179,16 +358,44 @@ class EventQueue {
   void heap_pop_front() noexcept;
   void drop_leading_tombstones() noexcept;
 
+  const HeapEntry& fifo_front() const noexcept { return fifo_[fifo_head_]; }
+  void fifo_pop_front() noexcept {
+    fifo_head_ = (fifo_head_ + 1) & (fifo_.size() - 1);
+    if (--fifo_size_ == 0) fifo_head_ = 0;
+  }
+  void fifo_push(HeapEntry entry) {
+    if (fifo_size_ == fifo_.size()) fifo_grow();
+    fifo_[(fifo_head_ + fifo_size_) & (fifo_.size() - 1)] = entry;
+    ++fifo_size_;
+  }
+  void fifo_grow();
+
   // 4-ary implicit min-heap on (key, aux) — i.e. on (time, seq). Compared to
   // a binary heap this halves the levels a pop's sift-down walks (the
   // pop-heavy hot path), and four 16-byte entries are exactly one cache
   // line.
   std::vector<HeapEntry> heap_;
+  // Sorted power-of-two ring for schedule_monotone records. Sortedness is an
+  // invariant (appends below the tail key divert to the heap), so the lane
+  // needs no sifting: the head is always its minimum, and only the head and
+  // its successor can ever share the overall minimum key.
+  std::vector<HeapEntry> fifo_;
+  std::size_t fifo_head_ = 0;  // masked index of the ring's front
+  std::size_t fifo_size_ = 0;
+  std::uint64_t fifo_tail_key_ = 0;  // key of the most recent append
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_ = 0;  // slots handed out at least once
   std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
+  // Live events drained by pop_batch whose slots are still claimed.
+  std::size_t outstanding_ = 0;
+  // Dead (cancelled/taken) records still physically present per lane.
+  // Zero means pops can skip that lane's head-liveness probe outright —
+  // the common case for the fifo lane, whose link-arrival events are never
+  // cancelled in practice.
+  std::size_t heap_tomb_ = 0;
+  std::size_t fifo_tomb_ = 0;
 };
 
 }  // namespace tempriv::sim

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -54,19 +55,52 @@ class Simulator {
     return queue_.schedule(now_ + delay, std::forward<F>(action));
   }
 
+  /// schedule_after() for delays drawn from a fixed constant (link latency
+  /// being the canonical case): now_ never decreases, so such events arrive
+  /// in non-decreasing time order and take the event queue's O(1) FIFO lane
+  /// (EventQueue::schedule_monotone) instead of the heap. Safe for any
+  /// delay — out-of-order times fall back to the heap internally — but the
+  /// win exists only when successive calls' (now_ + delay) are
+  /// non-decreasing.
+  template <class F>
+  EventId schedule_after_monotone(Duration delay, F&& action) {
+    if (!std::isfinite(delay) || delay < 0.0) {
+      throw std::invalid_argument(
+          "Simulator::schedule_after_monotone: delay must be finite and >= 0");
+    }
+    return queue_.schedule_monotone(now_ + delay, std::forward<F>(action));
+  }
+
   /// Pre-sizes the event queue for `events` concurrent pending events so the
-  /// steady state never reallocates (see EventQueue::reserve).
-  void reserve(std::size_t events) { queue_.reserve(events); }
+  /// steady state never reallocates (see EventQueue::reserve). The drain
+  /// buffer run() batches into is pre-sized too: an equal-time cohort can
+  /// never exceed the pending-event count.
+  void reserve(std::size_t events) {
+    queue_.reserve(events);
+    batch_.reserve(events);
+  }
 
   /// Cancels a pending event; see EventQueue::cancel.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Runs until the event queue is empty or stop() is called.
   /// Returns the number of events executed.
+  ///
+  /// Hybrid dispatch kernel: a head event with a unique timestamp — the
+  /// vast majority under continuous random delays — pops directly
+  /// (EventQueue::pop_if_single), while equal-time events run as one
+  /// drained batch (EventQueue::pop_batch), consulting the queue once per
+  /// distinct timestamp instead of once per event. Either way the
+  /// execution order — (time, insertion order) — is exactly the
+  /// one-pop()-per-event order, including events scheduled or cancelled by
+  /// callbacks inside a batch. stop() mid-batch re-queues the not-yet-run
+  /// remainder, so pending_events() afterwards matches the unbatched
+  /// kernel's.
   std::size_t run();
 
   /// Runs all events with timestamp <= deadline (or until stop()); the clock
   /// then rests at min(deadline, time of last work). Returns events executed.
+  /// Batched like run().
   std::size_t run_until(Time deadline);
 
   /// Executes exactly one event if any is pending. Returns whether one ran.
@@ -85,10 +119,18 @@ class Simulator {
   std::uint64_t events_executed() const noexcept { return executed_; }
 
  private:
+  /// Executes the drained ids in batch_ at now_; re-queues the remainder on
+  /// stop() or an exception unwinding out of a callback. Returns the number
+  /// of events that actually ran. Clears batch_.
+  std::size_t run_batch();
+
   EventQueue queue_;
   Time now_ = kTimeZero;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  // Reused drain buffer for run()/run_until(): grows to the largest
+  // equal-time cohort once, then the batch loop is allocation-free.
+  std::vector<EventId> batch_;
 };
 
 }  // namespace tempriv::sim

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
 #include <stdexcept>
+#include <vector>
+
+#include "queueing/erlang.h"
 
 namespace tempriv::adversary {
 namespace {
@@ -84,6 +90,84 @@ TEST(PathAwareAdversary, NoDelayNetworkFallsBackToTauOnly) {
   PathAwareAdversary adversary({1.0, 0.0, 10, 0.1}, f.built.topology, f.routing);
   adversary.on_delivery(make_packet(f.built.sources[2], 9, 0), 9.0);
   EXPECT_DOUBLE_EQ(adversary.estimates()[0].estimated_creation, 0.0);
+}
+
+// The incremental per-node rate attribution plus the certified Erlang
+// predicate must reproduce, bit for bit, a from-scratch reference that
+// re-sums every flow's windowed rate in ascending origin order and calls
+// erlang_loss directly — across an irregular interleaving of all four
+// flows (bursts, gaps, rate changes) that keeps crossing the regime
+// boundary on trunk and branch nodes.
+TEST(PathAwareAdversary, IncrementalAttributionMatchesFullResum) {
+  Fixture f;
+  const PathAwareAdversary::Config cfg{1.0, 30.0, 10, 0.1};
+  PathAwareAdversary adversary(cfg, f.built.topology, f.routing);
+
+  std::map<net::NodeId, std::vector<double>> arrivals_by_flow;
+  const auto windowed_rate = [&](net::NodeId flow) {
+    const auto& a = arrivals_by_flow[flow];
+    const std::size_t window = std::min<std::size_t>(a.size(), 64);
+    if (a.size() < 2) return 0.0;
+    if (window < 2) return 0.0;
+    const double span = a.back() - a[a.size() - window];
+    if (span <= 0.0) {
+      const double full = a.back() - a.front();
+      if (full <= 0.0) return 0.0;
+      return static_cast<double>(a.size() - 1) / full;
+    }
+    return static_cast<double>(window - 1) / span;
+  };
+  const auto reference_estimate = [&](net::NodeId origin, double arrival,
+                                      std::uint16_t hops) {
+    // Full sweep: per-node rates from every flow, ascending origin order.
+    std::map<net::NodeId, double> rates;
+    for (const auto& [flow, a] : arrivals_by_flow) {
+      const double rate = windowed_rate(flow);
+      if (rate <= 0.0) continue;
+      for (const net::NodeId node : f.routing.path_to_sink(flow)) {
+        if (node != f.built.topology.sink()) rates[node] += rate;
+      }
+    }
+    const double mu = 1.0 / cfg.mean_delay_per_hop;
+    double total = 0.0;
+    for (const net::NodeId node : f.routing.path_to_sink(origin)) {
+      if (node == f.built.topology.sink()) continue;
+      total += cfg.hop_tx_delay;
+      double node_delay = cfg.mean_delay_per_hop;
+      const auto it = rates.find(node);
+      if (it != rates.end() && it->second > 0.0 &&
+          queueing::erlang_loss(it->second / mu, cfg.buffer_slots) >
+              cfg.loss_threshold) {
+        node_delay = std::min(cfg.mean_delay_per_hop,
+                              static_cast<double>(cfg.buffer_slots) /
+                                  it->second);
+      }
+      total += node_delay;
+    }
+    (void)hops;
+    return arrival - total;
+  };
+
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  double now = 0.0;
+  std::uint64_t uid = 0;
+  for (int step = 0; step < 400; ++step) {
+    now += 0.05 + static_cast<double>(next() % 100) / 25.0;  // 0.05..4.05
+    const std::size_t s = next() % 4;
+    const net::NodeId origin = f.built.sources[s];
+    const std::uint16_t hops = f.routing.hops_to_sink(origin);
+    arrivals_by_flow[origin].push_back(now);
+    adversary.on_delivery(make_packet(origin, hops, uid++), now);
+    const double expected = reference_estimate(origin, now, hops);
+    ASSERT_EQ(adversary.estimates().back().estimated_creation, expected)
+        << "step " << step << " origin " << origin;
+  }
 }
 
 TEST(PathAwareAdversary, ValidatesConfig) {

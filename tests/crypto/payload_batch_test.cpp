@@ -1,0 +1,124 @@
+#include "crypto/payload.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+namespace tempriv::crypto {
+namespace {
+
+Speck64_128::Key master_key() {
+  Speck64_128::Key key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  return key;
+}
+
+std::vector<SensorPayload> make_payloads(std::size_t n) {
+  std::vector<SensorPayload> payloads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payloads[i].reading = 20.0 + 0.5 * static_cast<double>(i);
+    payloads[i].app_seq = static_cast<std::uint32_t>(1000 + i);
+    payloads[i].creation_time = 3.25 * static_cast<double>(i);
+  }
+  return payloads;
+}
+
+bool sealed_equal(const SealedPayload& a, const SealedPayload& b) {
+  return a.nonce == b.nonce && a.ciphertext == b.ciphertext && a.tag == b.tag;
+}
+
+// seal_batch must be bit-identical to element-wise seal() at every size that
+// exercises the full-lane-group path, the scalar remainder, and their mix.
+TEST(PayloadBatch, SealBatchMatchesScalarSealAtAllSizes) {
+  PayloadCodec codec(master_key());
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{8}, std::size_t{9}, std::size_t{16},
+                        std::size_t{23}, std::size_t{64}}) {
+    const std::vector<SensorPayload> payloads = make_payloads(n);
+    std::vector<SealedPayload> batch(n);
+    codec.seal_batch(payloads, /*origin_id=*/42, batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SealedPayload single = codec.seal(payloads[i], 42);
+      EXPECT_TRUE(sealed_equal(batch[i], single)) << "n " << n << " i " << i;
+    }
+  }
+}
+
+TEST(PayloadBatch, OpenBatchRoundTripsSealBatch) {
+  PayloadCodec codec(master_key());
+  for (std::size_t n : {std::size_t{0}, std::size_t{5}, std::size_t{8},
+                        std::size_t{19}, std::size_t{32}}) {
+    const std::vector<SensorPayload> payloads = make_payloads(n);
+    std::vector<SealedPayload> batch(n);
+    codec.seal_batch(payloads, 7, batch);
+    std::vector<std::optional<SensorPayload>> opened(n);
+    EXPECT_EQ(codec.open_batch(batch, opened), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(opened[i].has_value()) << "n " << n << " i " << i;
+      EXPECT_EQ(*opened[i], payloads[i]) << "n " << n << " i " << i;
+    }
+  }
+}
+
+// open_batch must agree with open() element-wise even when individual
+// entries are tampered, truncated, or oversized — including a malformed
+// length inside an otherwise full lane group (the element-wise fallback).
+TEST(PayloadBatch, OpenBatchMatchesScalarOpenOnDamagedEntries) {
+  PayloadCodec codec(master_key());
+  const std::size_t n = 24;
+  const std::vector<SensorPayload> payloads = make_payloads(n);
+  std::vector<SealedPayload> batch(n);
+  codec.seal_batch(payloads, 3, batch);
+
+  batch[1].ciphertext[0] ^= 0x01;       // flipped ciphertext bit
+  batch[4].tag ^= 0x1ULL;               // flipped tag bit
+  batch[9].ciphertext.resize(5);        // truncated, inside a lane group
+  batch[13].ciphertext.push_back(0);    // oversized
+  batch[17].nonce ^= 0x2ULL;            // wrong nonce: MAC passes? no — tag
+                                        // covers ciphertext only, so the
+                                        // decrypt garbles and equality below
+                                        // still checks open() agreement.
+
+  std::vector<std::optional<SensorPayload>> opened(n);
+  const std::size_t count = codec.open_batch(batch, opened);
+  std::size_t expected_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::optional<SensorPayload> single = codec.open(batch[i]);
+    EXPECT_EQ(opened[i].has_value(), single.has_value()) << "i " << i;
+    if (single.has_value()) {
+      EXPECT_EQ(*opened[i], *single) << "i " << i;
+      ++expected_count;
+    }
+  }
+  EXPECT_EQ(count, expected_count);
+}
+
+TEST(PayloadBatch, SealBatchIsDeterministic) {
+  PayloadCodec codec(master_key());
+  const std::vector<SensorPayload> payloads = make_payloads(16);
+  std::vector<SealedPayload> a(16), b(16);
+  codec.seal_batch(payloads, 11, a);
+  codec.seal_batch(payloads, 11, b);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_TRUE(sealed_equal(a[i], b[i])) << "i " << i;
+  }
+}
+
+TEST(PayloadBatch, BatchWithWrongKeyOpensNothing) {
+  PayloadCodec codec(master_key());
+  Speck64_128::Key other = master_key();
+  other[0] ^= 0xFF;
+  PayloadCodec wrong(other);
+  const std::vector<SensorPayload> payloads = make_payloads(8);
+  std::vector<SealedPayload> batch(8);
+  codec.seal_batch(payloads, 1, batch);
+  std::vector<std::optional<SensorPayload>> opened(8);
+  EXPECT_EQ(wrong.open_batch(batch, opened), 0u);
+  for (const auto& o : opened) EXPECT_FALSE(o.has_value());
+}
+
+}  // namespace
+}  // namespace tempriv::crypto

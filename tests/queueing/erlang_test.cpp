@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <tuple>
@@ -153,6 +154,68 @@ TEST(MuForTargetLoss, HigherTrafficNeedsShorterDelays) {
 
 TEST(MuForTargetLoss, RejectsNonPositiveLambda) {
   EXPECT_THROW(mu_for_target_loss(0.0, 10, 0.1), std::invalid_argument);
+}
+
+TEST(ErlangLossThreshold, WindowBracketsTheBoundary) {
+  for (std::uint64_t k : {1u, 5u, 10u, 40u}) {
+    for (double alpha : {0.01, 0.1, 0.5, 0.9}) {
+      const ErlangLossThreshold test(alpha, k);
+      EXPECT_LT(test.window_lo(), test.window_hi()) << k << " " << alpha;
+      EXPECT_LE(erlang_loss(test.window_lo(), k), alpha);
+      EXPECT_GT(erlang_loss(test.window_hi(), k), alpha);
+      // The fallback window is narrow: certification costs almost nothing.
+      EXPECT_LT(test.window_hi() - test.window_lo(),
+                1e-6 * std::max(1.0, test.window_hi()));
+    }
+  }
+}
+
+TEST(ErlangLossThreshold, MatchesDirectComputationEverywhere) {
+  // Deterministic xorshift corpus of (k, alpha, rho) triples, plus a dense
+  // ulp-walk across each certified window: every answer must equal the
+  // direct recurrence-and-compare, including inside the fallback band.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t k = 1 + next() % 40;
+    const double alpha =
+        0.001 + 0.998 * static_cast<double>(next() % 100000) / 100000.0;
+    const ErlangLossThreshold test(alpha, k);
+    for (int sample = 0; sample < 20; ++sample) {
+      const double rho =
+          static_cast<double>(next() % 1000000) / 1000.0;  // [0, 1000)
+      EXPECT_EQ(test.above(rho), erlang_loss(rho, k) > alpha)
+          << "k=" << k << " alpha=" << alpha << " rho=" << rho;
+    }
+    // Walk straight through the boundary window where the fallback fires.
+    double rho = test.window_lo();
+    for (int step = 0; step < 64 && rho <= test.window_hi(); ++step) {
+      EXPECT_EQ(test.above(rho), erlang_loss(rho, k) > alpha)
+          << "k=" << k << " alpha=" << alpha << " rho=" << rho;
+      rho = std::nextafter(
+          rho + (test.window_hi() - test.window_lo()) / 32.0, 1e308);
+    }
+    EXPECT_EQ(test.above(test.window_hi()), true);
+  }
+}
+
+TEST(ErlangLossThreshold, ZeroSlotsAlwaysAboveAndZeroTrafficNeverAbove) {
+  const ErlangLossThreshold no_buffer(0.1, 0);
+  EXPECT_TRUE(no_buffer.above(0.0));
+  EXPECT_TRUE(no_buffer.above(123.0));
+  const ErlangLossThreshold ten(0.1, 10);
+  EXPECT_FALSE(ten.above(0.0));
+}
+
+TEST(ErlangLossThreshold, ValidatesThreshold) {
+  EXPECT_THROW(ErlangLossThreshold(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(ErlangLossThreshold(1.0, 10), std::invalid_argument);
+  EXPECT_THROW(ErlangLossThreshold(-0.5, 10), std::invalid_argument);
 }
 
 }  // namespace

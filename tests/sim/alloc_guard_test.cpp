@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
+#include <optional>
+#include <vector>
 
 #include "core/delay_buffer.h"
 #include "core/factories.h"
@@ -188,6 +192,92 @@ TEST(AllocGuard, WarmDelayedForwardingAllocatesNothing) {
   EXPECT_EQ(allocations() - before, 0u)
       << "delayed forwarding allocated on the steady-state path";
   EXPECT_EQ(network.packets_delivered(), network.packets_originated());
+}
+
+TEST(AllocGuard, WarmPopBatchAllocatesNothing) {
+  // The batch drain path — pop_batch into a warm vector, take() per id,
+  // restore() of an unclaimed suffix — must match pop()'s zero-allocation
+  // contract once the heap, slot pool, and batch vector are warm.
+  RandomStream rng(14);
+  EventQueue queue;
+  queue.reserve(512);
+  std::vector<EventId> batch;
+  batch.reserve(512);
+  // Warm-up: populate slots and the batch vector with equal-time cohorts.
+  for (int i = 0; i < 512; ++i) {
+    queue.schedule(std::floor(rng.uniform(0.0, 32.0)), [] {});
+  }
+  while (queue.pop_batch(batch) != kTimeInfinity) {
+    for (const EventId id : batch) {
+      auto action = queue.take(id);
+      if (action) (*action)();
+    }
+  }
+
+  double sink = 0.0;
+  const std::size_t before = allocations();
+  for (int round = 0; round < 2000; ++round) {
+    // Ties on an integer grid force multi-event batches every drain.
+    for (int j = 0; j < 16; ++j) {
+      const double at = std::floor(rng.uniform(0.0, 8.0));
+      queue.schedule(at, [&sink, at] { sink += at; });
+    }
+    const Time at = queue.pop_batch(batch);
+    ASSERT_NE(at, kTimeInfinity);
+    // Claim the first half, hand the rest back, then drain everything.
+    const std::size_t half = batch.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      auto action = queue.take(batch[i]);
+      if (action) (*action)();
+    }
+    queue.restore(at, {batch.data() + half, batch.size() - half});
+    while (queue.pop_batch(batch) != kTimeInfinity) {
+      for (const EventId id : batch) {
+        auto action = queue.take(id);
+        if (action) (*action)();
+      }
+    }
+  }
+  EXPECT_EQ(allocations() - before, 0u) << "pop_batch allocated when warm";
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(AllocGuard, WarmBatchSealAndOriginateAllocatesNothing) {
+  // The batched crypto path end to end: sampling a burst, batch-sealing it
+  // in lane groups, injecting it with originate_batch, forwarding every
+  // packet to the sink — plus a direct seal_batch/open_batch round trip —
+  // on a warm network must never touch the heap.
+  Simulator simulator;
+  constexpr std::size_t kBurst = 24;
+  net::Network network(simulator, net::Topology::line(9),
+                       core::immediate_factory(), {}, RandomStream(31));
+  network.reserve(kBurst + 8);
+  simulator.reserve(256);
+  const crypto::PayloadCodec codec(
+      crypto::Speck64_128::Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                               15, 16});
+  std::array<crypto::SensorPayload, kBurst> burst{};
+  std::array<crypto::SealedPayload, kBurst> sealed{};
+  std::array<std::optional<crypto::SensorPayload>, kBurst> opened{};
+  std::uint32_t seq = 0;
+  auto send_burst = [&] {
+    for (auto& p : burst) p = {1.0, seq++, simulator.now()};
+    network.originate_batch(0, codec, burst);
+    simulator.run();
+  };
+  // Warm-up: populate pool slots, event-queue slots, and the sink path.
+  for (int i = 0; i < 8; ++i) send_burst();
+
+  const std::size_t before = allocations();
+  for (int round = 0; round < 500; ++round) {
+    send_burst();
+    codec.seal_batch(burst, 0, sealed);
+    codec.open_batch(sealed, opened);
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "batched seal/originate allocated on the warm path";
+  EXPECT_EQ(network.packets_delivered(), 508u * kBurst);
+  for (const auto& payload : opened) ASSERT_TRUE(payload.has_value());
 }
 
 TEST(AllocGuard, WarmDelayBufferChurnAllocatesNothing) {

@@ -1,0 +1,337 @@
+// pop_batch/take/restore: unit coverage for the equal-time drain contract,
+// a model-based fuzz of randomized schedule/cancel/pop_batch interleavings
+// against the one-at-a-time reference (pop), and the Simulator-level batch
+// semantics (stop mid-batch, cancel inside a batch, exception unwind).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace tempriv::sim {
+namespace {
+
+TEST(EventQueueBatch, EmptyQueueYieldsEmptyBatchAtInfinity) {
+  EventQueue queue;
+  std::vector<EventId> batch;
+  EXPECT_EQ(queue.pop_batch(batch), kTimeInfinity);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(EventQueueBatch, DrainsEqualTimeCohortInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  const EventId a = queue.schedule(5.0, [&] { order.push_back(1); });
+  const EventId b = queue.schedule(5.0, [&] { order.push_back(2); });
+  queue.schedule(7.0, [&] { order.push_back(99); });
+  const EventId c = queue.schedule(5.0, [&] { order.push_back(3); });
+
+  std::vector<EventId> batch;
+  EXPECT_DOUBLE_EQ(queue.pop_batch(batch), 5.0);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], a);
+  EXPECT_EQ(batch[1], b);
+  EXPECT_EQ(batch[2], c);
+  // The 7.0 event is untouched; drained events still count as pending.
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 7.0);
+
+  for (const EventId id : batch) {
+    auto action = queue.take(id);
+    ASSERT_TRUE(action.has_value());
+    (*action)();
+  }
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueBatch, TakeReturnsNulloptForCancelledDrainedEvent) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1.0, [] {});
+  const EventId b = queue.schedule(1.0, [] {});
+  std::vector<EventId> batch;
+  queue.pop_batch(batch);
+  ASSERT_EQ(batch.size(), 2u);
+
+  // Cancel between drain and claim — exactly what a batch callback that
+  // cancels a later equal-time event does.
+  EXPECT_TRUE(queue.cancel(b));
+  EXPECT_FALSE(queue.cancel(b));
+  EXPECT_TRUE(queue.take(a).has_value());
+  EXPECT_FALSE(queue.take(b).has_value());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueBatch, RestoreRequeuesUnclaimedInOriginalOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(2.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.schedule(2.0, [&] { order.push_back(3); });
+
+  std::vector<EventId> batch;
+  const Time at = queue.pop_batch(batch);
+  ASSERT_EQ(batch.size(), 3u);
+  (*queue.take(batch[0]))();
+
+  // Stop-style handback of the unrun tail, then a new event at the same
+  // time: the restored events keep their original precedence.
+  queue.restore(at, {batch.data() + 1, 2});
+  queue.schedule(2.0, [&] { order.push_back(4); });
+  EXPECT_EQ(queue.size(), 3u);
+
+  std::vector<EventId> again;
+  EXPECT_DOUBLE_EQ(queue.pop_batch(again), 2.0);
+  ASSERT_EQ(again.size(), 3u);
+  for (const EventId id : again) (*queue.take(id))();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueBatch, RestoreSkipsCancelledAndTakenIds) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1.0, [] {});
+  const EventId b = queue.schedule(1.0, [] {});
+  const EventId c = queue.schedule(1.0, [] {});
+  std::vector<EventId> batch;
+  const Time at = queue.pop_batch(batch);
+  ASSERT_EQ(batch.size(), 3u);
+
+  (void)queue.take(a);
+  queue.cancel(b);
+  queue.restore(at, batch);  // only c has anything left to restore
+  EXPECT_EQ(queue.size(), 1u);
+  const auto event = queue.pop();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->id, c);
+}
+
+TEST(EventQueueBatch, SkipsTombstonesInsideEqualTimeRun) {
+  EventQueue queue;
+  const EventId a = queue.schedule(3.0, [] {});
+  const EventId b = queue.schedule(3.0, [] {});
+  const EventId c = queue.schedule(3.0, [] {});
+  // Cancel the middle event while it is buried in the heap.
+  EXPECT_TRUE(queue.cancel(b));
+  std::vector<EventId> batch;
+  EXPECT_DOUBLE_EQ(queue.pop_batch(batch), 3.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], a);
+  EXPECT_EQ(batch[1], c);
+  (void)queue.take(a);
+  (void)queue.take(c);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueBatch, CancelOfHeapEventWhileBatchOutstandingSweepsHead) {
+  // Regression guard for the tombstone fast path: with drained events
+  // outstanding, heap size and live count diverge, and a cancel of an
+  // in-heap event must still be detected as a tombstone at the head.
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  const EventId later = queue.schedule(2.0, [] {});
+  queue.schedule(3.0, [] {});
+
+  std::vector<EventId> batch;
+  queue.pop_batch(batch);  // drains the 1.0 event; heap holds 2.0, 3.0
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(queue.cancel(later));
+  EXPECT_DOUBLE_EQ(queue.next_time(), 3.0);
+  (void)queue.take(batch[0]);
+  const auto event = queue.pop();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_DOUBLE_EQ(event->at, 3.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+// Model-based fuzz: randomized schedule/cancel/pop_batch(+take/restore)
+// against the one-at-a-time reference model. The drain must always return
+// the model's earliest cohort in insertion order, under slot churn,
+// tombstones inside cohorts, mid-batch cancels, and partial restores.
+class EventQueueBatchFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EventQueueBatchFuzzTest, MatchesOneAtATimeReferenceModel) {
+  RandomStream rng(GetParam());
+  EventQueue queue;
+  std::map<std::pair<double, std::uint64_t>, EventId> model;
+  std::uint64_t seq = 0;
+  std::vector<std::pair<std::pair<double, std::uint64_t>, EventId>> live;
+  double last_at = 0.0;
+
+  const auto forget = [&](EventId id) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i].second == id) {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  };
+
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.uniform01();
+    if (dice < 0.55) {
+      // Schedule from a coarse grid so equal-time cohorts are common.
+      const double at =
+          op % 4 == 3
+              ? last_at
+              : (last_at = static_cast<double>(rng.uniform_index(40)) * 0.5);
+      const EventId id = queue.schedule(at, [] {});
+      model.emplace(std::make_pair(at, seq), id);
+      live.push_back({{at, seq}, id});
+      ++seq;
+    } else if (dice < 0.70 && !live.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_index(live.size()));
+      const auto [key, id] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      ASSERT_TRUE(queue.cancel(id));
+      ASSERT_EQ(model.erase(key), 1u);
+    } else if (!model.empty()) {
+      // Drain one cohort and compare against the model's earliest entries.
+      std::vector<EventId> batch;
+      const Time at = queue.pop_batch(batch);
+      const double expected_at = model.begin()->first.first;
+      ASSERT_DOUBLE_EQ(at, expected_at);
+      std::size_t expected_size = 0;
+      for (auto it = model.begin();
+           it != model.end() && it->first.first == expected_at; ++it) {
+        ASSERT_LT(expected_size, batch.size());
+        ASSERT_EQ(batch[expected_size], it->second);
+        ++expected_size;
+      }
+      ASSERT_EQ(batch.size(), expected_size);
+      ASSERT_EQ(queue.size(), model.size());  // drained still pending
+
+      // Claim a prefix; maybe cancel one of the rest mid-batch; restore the
+      // remainder (the stop()-mid-batch path).
+      const std::size_t claim =
+          static_cast<std::size_t>(rng.uniform_index(batch.size() + 1));
+      for (std::size_t i = 0; i < claim; ++i) {
+        ASSERT_TRUE(queue.take(batch[i]).has_value());
+        model.erase(model.begin());  // batch[i] IS the model's earliest
+        forget(batch[i]);
+      }
+      if (claim < batch.size() && rng.uniform01() < 0.3) {
+        const std::size_t victim =
+            claim + static_cast<std::size_t>(
+                        rng.uniform_index(batch.size() - claim));
+        ASSERT_TRUE(queue.cancel(batch[victim]));
+        ASSERT_FALSE(queue.take(batch[victim]).has_value());
+        // Erase from the model by id.
+        for (auto it = model.begin(); it != model.end(); ++it) {
+          if (it->second == batch[victim]) {
+            model.erase(it);
+            break;
+          }
+        }
+        forget(batch[victim]);
+      }
+      queue.restore(at, {batch.data() + claim, batch.size() - claim});
+    }
+    ASSERT_EQ(queue.size(), model.size());
+    ASSERT_DOUBLE_EQ(queue.next_time(), model.empty()
+                                            ? kTimeInfinity
+                                            : model.begin()->first.first);
+  }
+
+  // Drain the rest one at a time: restores must have preserved exact order.
+  while (!model.empty()) {
+    const auto expected = model.begin();
+    const auto event = queue.pop();
+    ASSERT_TRUE(event.has_value());
+    ASSERT_EQ(event->id, expected->second);
+    ASSERT_DOUBLE_EQ(event->at, expected->first.first);
+    model.erase(expected);
+  }
+  ASSERT_FALSE(queue.pop().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueBatchFuzzTest,
+                         ::testing::Values(7u, 21u, 301u, 9999u));
+
+TEST(SimulatorBatch, EqualTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(SimulatorBatch, CallbackCancellingLaterEqualTimeEventSuppressesIt) {
+  Simulator sim;
+  bool ran = false;
+  EventId doomed;
+  sim.schedule_at(1.0, [&] { sim.cancel(doomed); });
+  doomed = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorBatch, CallbackSchedulingAtSameTimeRunsAfterCohort) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&] { order.push_back(9); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 9}));
+}
+
+TEST(SimulatorBatch, StopMidBatchLeavesRemainderPending) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.stop();
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), 1.0);
+
+  // Resuming runs the rest in the original order.
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorBatch, ExceptionMidBatchRequeuesRemainder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { throw std::runtime_error("boom"); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulatorBatch, RunUntilHonorsDeadlineAcrossBatches) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(2.0, [&] { order.push_back(3); });
+  sim.schedule_at(3.0, [&] { order.push_back(4); });
+  EXPECT_EQ(sim.run_until(2.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace tempriv::sim
