@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Scale trajectory for the structure-of-arrays network: runs bench/scale_rcad
+# over the node-count ladder — full RCAD runs with adversary scoring at
+# n = 1e3 / 1e4 / 1e5, build-only (topology + CSR + routing + network
+# construction) at n = 1e6 — and merges the per-run JSON objects into
+# BENCH_scale.json at the repo root. Wall-clock numbers are trajectory data,
+# not a regression gate; the acceptance targets check the structural
+# invariants (full run at >= 1e5 nodes, bounded bytes/node, 1e6 build).
+# Schema: see "Scale benchmark trajectory" in EXPERIMENTS.md.
+#
+#   scripts/bench_scale.sh [build-dir]            # full ladder incl. 1e6 build
+#   scripts/bench_scale.sh --smoke [build-dir]    # CI: 1e4 full + 1e5 build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
+BUILD_DIR=${1:-build}
+OUT=BENCH_scale.json
+
+cmake --build "$BUILD_DIR" --target scale_rcad -j >/dev/null
+
+RUNS_JSON=$(mktemp)
+trap 'rm -f "$RUNS_JSON"' EXIT
+
+run() {
+  echo "== scale_rcad $* ==" >&2
+  "./$BUILD_DIR/bench/scale_rcad" "$@" >>"$RUNS_JSON"
+}
+
+# Sink and source counts grow with the field so hop counts and per-sink load
+# stay in the regime the paper studies. Seeds are fixed: every structural
+# field of a run is reproducible bit-for-bit.
+if [[ "$SMOKE" == 1 ]]; then
+  run --n 10000   --sinks 8  --sources 256 --packets 20 --seed 1
+  run --n 100000  --sinks 32 --mode build --seed 1
+else
+  run --n 1000    --sinks 4  --sources 64  --packets 20 --seed 1
+  run --n 10000   --sinks 8  --sources 256 --packets 20 --seed 1
+  run --n 100000  --sinks 32 --sources 512 --packets 20 --seed 1
+  run --n 1000000 --sinks 64 --mode build --seed 1
+fi
+
+python3 - "$RUNS_JSON" "$OUT" "$SMOKE" <<'PY'
+import json
+import sys
+import time
+
+runs_path, out_path, smoke = sys.argv[1:4]
+# scale_rcad emits one pretty-printed object per run; split on the closing
+# brace at column zero.
+runs = [json.loads(chunk + "}")
+        for chunk in open(runs_path).read().split("\n}")
+        if chunk.strip()]
+runs.sort(key=lambda r: r["nodes"])
+
+full = [r for r in runs if r["mode"] == "full"]
+targets = {
+    "full_run_nodes": {
+        "target": ">= 100000" if smoke == "0" else ">= 10000",
+        "measured": max((r["nodes"] for r in full), default=0),
+    },
+    "build_nodes": {
+        "target": ">= 1000000" if smoke == "0" else ">= 100000",
+        "measured": max((r["nodes"] for r in runs), default=0),
+    },
+    # Flat SoA arrays + one k-slot DelayBuffer per node; per-object node
+    # shells with heap-allocated adjacency blew well past this.
+    "bytes_per_node": {
+        "target": "<= 4096",
+        "measured": max((r["bytes_per_node"] for r in runs), default=0),
+    },
+    "all_packets_delivered": {
+        "target": ">= 1",
+        "measured": min((int(r["delivered"] == r["originated"]) for r in full),
+                        default=0),
+    },
+}
+for gate in targets.values():
+    op, bound = gate["target"].split()
+    ok = (gate["measured"] >= float(bound) if op == ">="
+          else gate["measured"] <= float(bound))
+    gate["pass"] = bool(ok)
+
+doc = {
+    "schema": "tempriv-bench-scale/1",
+    "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "smoke": smoke == "1",
+    "runs": runs,
+    "targets": targets,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for r in runs:
+    line = (f"  n={r['nodes']:>8} {r['mode']:<5} "
+            f"build={r['build_topology_s'] + r['build_csr_s'] + r['build_routing_s'] + r['build_network_s']:.3f}s "
+            f"bytes/node={r['bytes_per_node']:.0f}")
+    if r["mode"] == "full":
+        line += (f" events/s={r['events_per_s']:.0f}"
+                 f" mse={r['adversary_mse']:.1f}")
+    print(line)
+for name, gate in targets.items():
+    status = "PASS" if gate["pass"] else "FAIL"
+    print(f"  target {name}: {gate['measured']} ({gate['target']}) {status}")
+
+ok = all(g["pass"] for g in targets.values())
+sys.exit(0 if ok else 1)
+PY

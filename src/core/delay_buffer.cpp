@@ -5,7 +5,7 @@
 
 namespace tempriv::core {
 
-DelayBuffer::DelayBuffer(std::unique_ptr<DelayDistribution> delay,
+DelayBuffer::DelayBuffer(std::shared_ptr<const DelayDistribution> delay,
                          VictimPolicy policy)
     : delay_(std::move(delay)), policy_(policy) {
   if (!delay_) throw std::invalid_argument("DelayBuffer: null delay distribution");

@@ -49,10 +49,25 @@ class DelayBuffer {
     double release_time = 0.0;
   };
 
-  explicit DelayBuffer(std::unique_ptr<DelayDistribution> delay,
+  /// The distribution is shared-const so a whole network of identically
+  /// configured nodes holds one distribution object instead of a clone per
+  /// node (sample() is const). unique_ptr arguments convert implicitly.
+  explicit DelayBuffer(std::shared_ptr<const DelayDistribution> delay,
                        VictimPolicy policy = VictimPolicy::kShortestRemaining);
 
+  /// Movable while empty (moving parks no events); an admitted packet's
+  /// release closure captures `this`, so a non-empty buffer must stay put.
+  DelayBuffer(DelayBuffer&&) = default;
+  DelayBuffer& operator=(DelayBuffer&&) = default;
+
   std::size_t size() const noexcept { return live_count_; }
+
+  /// Heap bytes held by the slot pool and the policy heap (capacity-based;
+  /// the shared distribution is not counted — it is shared).
+  std::size_t memory_bytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot) +
+           heap_.capacity() * sizeof(HeapNode);
+  }
   const DelayDistribution& delay_distribution() const noexcept { return *delay_; }
   VictimPolicy victim_policy() const noexcept { return policy_; }
 
@@ -135,7 +150,7 @@ class DelayBuffer {
   net::Packet extract(std::uint32_t slot, net::NodeContext& ctx);
   void release(std::uint32_t slot, std::uint64_t uid, net::NodeContext& ctx);
 
-  std::unique_ptr<DelayDistribution> delay_;
+  std::shared_ptr<const DelayDistribution> delay_;
   VictimPolicy policy_;
   std::vector<Slot> slots_;
   std::vector<HeapNode> heap_;  // keyed nodes; only for heap policies

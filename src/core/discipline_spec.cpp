@@ -1,0 +1,57 @@
+#include "core/discipline_spec.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tempriv::core {
+
+DisciplineSpec DisciplineSpec::immediate() {
+  return {net::DisciplineKind::kImmediate, nullptr, 0,
+          VictimPolicy::kShortestRemaining};
+}
+
+DisciplineSpec DisciplineSpec::unlimited(
+    std::shared_ptr<const DelayDistribution> delay) {
+  if (!delay) throw std::invalid_argument("DisciplineSpec: null distribution");
+  return {net::DisciplineKind::kUnlimitedDelay, std::move(delay), 0,
+          VictimPolicy::kShortestRemaining};
+}
+
+DisciplineSpec DisciplineSpec::unlimited_exponential(double mean_delay) {
+  return unlimited(std::make_shared<const ExponentialDelay>(mean_delay));
+}
+
+DisciplineSpec DisciplineSpec::droptail(
+    std::shared_ptr<const DelayDistribution> delay, std::size_t capacity) {
+  if (!delay) throw std::invalid_argument("DisciplineSpec: null distribution");
+  if (capacity == 0) {
+    throw std::invalid_argument("DisciplineSpec: capacity must be >= 1");
+  }
+  return {net::DisciplineKind::kDropTail, std::move(delay), capacity,
+          VictimPolicy::kShortestRemaining};
+}
+
+DisciplineSpec DisciplineSpec::droptail_exponential(double mean_delay,
+                                                    std::size_t capacity) {
+  return droptail(std::make_shared<const ExponentialDelay>(mean_delay),
+                  capacity);
+}
+
+DisciplineSpec DisciplineSpec::rcad(
+    std::shared_ptr<const DelayDistribution> delay, std::size_t capacity,
+    VictimPolicy victim) {
+  if (!delay) throw std::invalid_argument("DisciplineSpec: null distribution");
+  if (capacity == 0) {
+    throw std::invalid_argument("DisciplineSpec: capacity must be >= 1");
+  }
+  return {net::DisciplineKind::kRcad, std::move(delay), capacity, victim};
+}
+
+DisciplineSpec DisciplineSpec::rcad_exponential(double mean_delay,
+                                                std::size_t capacity,
+                                                VictimPolicy victim) {
+  return rcad(std::make_shared<const ExponentialDelay>(mean_delay), capacity,
+              victim);
+}
+
+}  // namespace tempriv::core

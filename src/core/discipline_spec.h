@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/delay_buffer.h"
+#include "core/delay_distribution.h"
+#include "net/forwarding.h"
+
+namespace tempriv::core {
+
+/// Value-type description of a uniform built-in forwarding policy — the
+/// allocation-light alternative to a DisciplineFactory for networks where
+/// every node runs the same built-in. Network's spec constructor lays node
+/// state out in its flat per-node arrays directly from this description:
+/// no per-node discipline objects, no per-node factory std::function calls,
+/// and one shared delay-distribution object for the whole network — the
+/// construction path a 10⁶-node simulation needs.
+struct DisciplineSpec {
+  net::DisciplineKind kind = net::DisciplineKind::kImmediate;
+  /// Shared across all nodes; required unless kind == kImmediate.
+  std::shared_ptr<const DelayDistribution> delay;
+  /// Buffer slots per node (kDropTail / kRcad; ignored otherwise).
+  std::size_t capacity = 0;
+  /// RCAD victim-selection rule (kRcad only).
+  VictimPolicy victim = VictimPolicy::kShortestRemaining;
+
+  static DisciplineSpec immediate();
+  static DisciplineSpec unlimited(
+      std::shared_ptr<const DelayDistribution> delay);
+  static DisciplineSpec unlimited_exponential(double mean_delay);
+  static DisciplineSpec droptail(
+      std::shared_ptr<const DelayDistribution> delay, std::size_t capacity);
+  static DisciplineSpec droptail_exponential(double mean_delay,
+                                             std::size_t capacity);
+  static DisciplineSpec rcad(
+      std::shared_ptr<const DelayDistribution> delay, std::size_t capacity,
+      VictimPolicy victim = VictimPolicy::kShortestRemaining);
+  static DisciplineSpec rcad_exponential(
+      double mean_delay, std::size_t capacity,
+      VictimPolicy victim = VictimPolicy::kShortestRemaining);
+};
+
+}  // namespace tempriv::core

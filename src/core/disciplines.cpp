@@ -5,8 +5,8 @@
 
 namespace tempriv::core {
 
-DropTailDelaying::DropTailDelaying(std::unique_ptr<DelayDistribution> delay,
-                                   std::size_t capacity)
+DropTailDelaying::DropTailDelaying(
+    std::shared_ptr<const DelayDistribution> delay, std::size_t capacity)
     : buffer_(std::move(delay)), capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("DropTailDelaying: capacity must be >= 1");
@@ -22,7 +22,7 @@ void DropTailDelaying::on_packet(net::Packet&& packet, net::NodeContext& ctx) {
   buffer_.admit(std::move(packet), ctx);
 }
 
-RcadDiscipline::RcadDiscipline(std::unique_ptr<DelayDistribution> delay,
+RcadDiscipline::RcadDiscipline(std::shared_ptr<const DelayDistribution> delay,
                                std::size_t capacity, VictimPolicy victim_policy)
     : buffer_(std::move(delay), victim_policy),
       capacity_(capacity),

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "core/delay_buffer.h"
 #include "core/delay_distribution.h"
@@ -17,6 +18,9 @@ class ImmediateForwarding final : public net::ForwardingDiscipline {
     ctx.transmit(std::move(packet));
   }
   std::size_t buffered() const noexcept override { return 0; }
+  net::DisciplineKind kind() const noexcept override {
+    return net::DisciplineKind::kImmediate;
+  }
 };
 
 /// Case 2: delay every packet by an independent draw from the delay
@@ -24,13 +28,19 @@ class ImmediateForwarding final : public net::ForwardingDiscipline {
 /// §4 when the delays are exponential).
 class UnlimitedDelaying final : public net::ForwardingDiscipline {
  public:
-  explicit UnlimitedDelaying(std::unique_ptr<DelayDistribution> delay)
+  explicit UnlimitedDelaying(std::shared_ptr<const DelayDistribution> delay)
       : buffer_(std::move(delay)) {}
 
   void on_packet(net::Packet&& packet, net::NodeContext& ctx) override {
     buffer_.admit(std::move(packet), ctx);
   }
   std::size_t buffered() const noexcept override { return buffer_.size(); }
+  net::DisciplineKind kind() const noexcept override {
+    return net::DisciplineKind::kUnlimitedDelay;
+  }
+  /// Surrenders the (empty) buffer so Network can store it in its flat
+  /// per-node arrays; the discipline object is discarded afterwards.
+  DelayBuffer take_buffer() { return std::move(buffer_); }
 
  private:
   DelayBuffer buffer_;
@@ -40,12 +50,17 @@ class UnlimitedDelaying final : public net::ForwardingDiscipline {
 /// finds all `capacity` slots full is discarded (counted in drops()).
 class DropTailDelaying final : public net::ForwardingDiscipline {
  public:
-  DropTailDelaying(std::unique_ptr<DelayDistribution> delay, std::size_t capacity);
+  DropTailDelaying(std::shared_ptr<const DelayDistribution> delay,
+                   std::size_t capacity);
 
   void on_packet(net::Packet&& packet, net::NodeContext& ctx) override;
   std::size_t buffered() const noexcept override { return buffer_.size(); }
   std::uint64_t drops() const noexcept override { return drops_; }
   std::size_t capacity() const noexcept { return capacity_; }
+  net::DisciplineKind kind() const noexcept override {
+    return net::DisciplineKind::kDropTail;
+  }
+  DelayBuffer take_buffer() { return std::move(buffer_); }
 
  private:
   DelayBuffer buffer_;
@@ -64,7 +79,8 @@ class DropTailDelaying final : public net::ForwardingDiscipline {
 /// automatically — no signalling, no parameter changes.
 class RcadDiscipline final : public net::ForwardingDiscipline {
  public:
-  RcadDiscipline(std::unique_ptr<DelayDistribution> delay, std::size_t capacity,
+  RcadDiscipline(std::shared_ptr<const DelayDistribution> delay,
+                 std::size_t capacity,
                  VictimPolicy victim_policy = VictimPolicy::kShortestRemaining);
 
   void on_packet(net::Packet&& packet, net::NodeContext& ctx) override;
@@ -72,6 +88,10 @@ class RcadDiscipline final : public net::ForwardingDiscipline {
   std::uint64_t preemptions() const noexcept override { return preemptions_; }
   std::size_t capacity() const noexcept { return capacity_; }
   VictimPolicy victim_policy() const noexcept { return victim_policy_; }
+  net::DisciplineKind kind() const noexcept override {
+    return net::DisciplineKind::kRcad;
+  }
+  DelayBuffer take_buffer() { return std::move(buffer_); }
 
  private:
   DelayBuffer buffer_;

@@ -14,9 +14,12 @@ net::DisciplineFactory immediate_factory() {
 }
 
 net::DisciplineFactory unlimited_factory(const DelayDistribution& prototype) {
-  return [proto = std::shared_ptr<DelayDistribution>(prototype.clone())](net::NodeId, std::uint16_t)
+  // One clone shared by every node — the distribution is immutable and
+  // sample() is const, so per-node clones bought nothing but heap churn.
+  return [proto = std::shared_ptr<const DelayDistribution>(prototype.clone())](
+             net::NodeId, std::uint16_t)
              -> std::unique_ptr<net::ForwardingDiscipline> {
-    return std::make_unique<UnlimitedDelaying>(proto->clone());
+    return std::make_unique<UnlimitedDelaying>(proto);
   };
 }
 
@@ -26,9 +29,10 @@ net::DisciplineFactory unlimited_exponential_factory(double mean_delay) {
 
 net::DisciplineFactory droptail_factory(const DelayDistribution& prototype,
                                         std::size_t capacity) {
-  return [proto = std::shared_ptr<DelayDistribution>(prototype.clone()), capacity](net::NodeId, std::uint16_t)
+  return [proto = std::shared_ptr<const DelayDistribution>(prototype.clone()),
+          capacity](net::NodeId, std::uint16_t)
              -> std::unique_ptr<net::ForwardingDiscipline> {
-    return std::make_unique<DropTailDelaying>(proto->clone(), capacity);
+    return std::make_unique<DropTailDelaying>(proto, capacity);
   };
 }
 
@@ -40,11 +44,10 @@ net::DisciplineFactory droptail_exponential_factory(double mean_delay,
 net::DisciplineFactory rcad_factory(const DelayDistribution& prototype,
                                     std::size_t capacity,
                                     VictimPolicy victim_policy) {
-  return [proto = std::shared_ptr<DelayDistribution>(prototype.clone()), capacity, victim_policy](
-             net::NodeId, std::uint16_t)
+  return [proto = std::shared_ptr<const DelayDistribution>(prototype.clone()),
+          capacity, victim_policy](net::NodeId, std::uint16_t)
              -> std::unique_ptr<net::ForwardingDiscipline> {
-    return std::make_unique<RcadDiscipline>(proto->clone(), capacity,
-                                            victim_policy);
+    return std::make_unique<RcadDiscipline>(proto, capacity, victim_policy);
   };
 }
 

@@ -29,6 +29,18 @@ class NodeContext {
   virtual void transmit(Packet&& packet) = 0;
 };
 
+/// Tells the network which built-in policy a factory-produced discipline
+/// implements, so Network can store its state in flat per-node arrays and
+/// dispatch without a virtual call on the forwarding hot path. kCustom (the
+/// default) keeps the discipline object and its virtual on_packet.
+enum class DisciplineKind : std::uint8_t {
+  kCustom = 0,
+  kImmediate,
+  kUnlimitedDelay,
+  kDropTail,
+  kRcad,
+};
+
 /// Per-node store-and-forward policy — the extension point the temporal-
 /// privacy schemes plug into (src/core implements immediate forwarding,
 /// unlimited exponential delaying, drop-tail delaying, and RCAD).
@@ -42,6 +54,11 @@ class ForwardingDiscipline {
   virtual ~ForwardingDiscipline() = default;
 
   virtual void on_packet(Packet&& packet, NodeContext& ctx) = 0;
+
+  /// Which built-in policy this object implements (see DisciplineKind).
+  /// Overridden by the src/core built-ins; custom disciplines keep the
+  /// default and run through virtual dispatch.
+  virtual DisciplineKind kind() const noexcept { return DisciplineKind::kCustom; }
 
   /// Packets currently held in this node's buffer.
   virtual std::size_t buffered() const noexcept = 0;

@@ -1,75 +1,17 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "core/disciplines.h"
+
 namespace tempriv::net {
 
-/// Per-node adapter that gives the node's ForwardingDiscipline access to the
-/// simulator, a private RNG stream, and the link layer.
-class Network::NodeShell final : public NodeContext {
- public:
-  NodeShell(Network& net, NodeId id, std::uint16_t hops,
-            std::unique_ptr<ForwardingDiscipline> discipline,
-            sim::RandomStream rng)
-      : net_(net),
-        id_(id),
-        hops_(hops),
-        discipline_(std::move(discipline)),
-        rng_(rng) {}
-
-  sim::Simulator& simulator() noexcept override { return net_.simulator_; }
-  sim::RandomStream& rng() noexcept override { return rng_; }
-  NodeId id() const noexcept override { return id_; }
-  std::uint16_t hops_to_sink() const noexcept override { return hops_; }
-
-  void transmit(Packet&& packet) override {
-    // Pick the next hop while the header still shows where the packet came
-    // from (selectors use prev_hop to avoid immediate backtracking), then
-    // update the cleartext header the way MultiHop does on each forward.
-    const NodeId next = net_.pick_next_hop(id_, packet, rng_);
-    packet.header.prev_hop = id_;
-    packet.header.hop_count =
-        static_cast<std::uint16_t>(packet.header.hop_count + 1);
-    packet.header.routing_seq = routing_seq_++;
-    if (!net_.transmit_probes_.empty()) [[unlikely]] {
-      net_.dispatch_transmit_probes(id_, next, packet);
-    }
-    double link_delay = net_.config_.hop_tx_delay;
-    if (net_.config_.hop_jitter > 0.0) {
-      link_delay += rng_.uniform(0.0, net_.config_.hop_jitter);
-    }
-    // Park the packet in the pool so the link-delay closure carries only a
-    // 16-byte {network, handle} pair — inside the event kernel's inline
-    // budget, so a warm forward never touches the heap. With the paper's
-    // constant per-hop latency (jitter 0) the arrival times of successive
-    // transmits never decrease, so the arrival events ride the event
-    // queue's O(1) FIFO lane instead of its heap; with jitter the call
-    // degrades gracefully (out-of-order times divert to the heap inside).
-    const PacketPool::Handle handle = net_.pool_.put(std::move(packet));
-    net_.simulator_.schedule_after_monotone(
-        link_delay, [&net = net_, next, handle] {
-          net.arrive_from_link(next, handle);
-        });
-    net_.probe(id_);
-  }
-
-  void handle(Packet&& packet) {
-    discipline_->on_packet(std::move(packet), *this);
-    net_.probe(id_);
-  }
-
-  const ForwardingDiscipline& discipline() const noexcept { return *discipline_; }
-
- private:
-  Network& net_;
-  NodeId id_;
-  std::uint16_t hops_;
-  std::unique_ptr<ForwardingDiscipline> discipline_;
-  sim::RandomStream rng_;
-  std::uint16_t routing_seq_ = 0;
-};
+namespace {
+constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+}  // namespace
 
 Network::Network(sim::Simulator& simulator, Topology topology,
                  const DisciplineFactory& factory, NetworkConfig config,
@@ -78,26 +20,233 @@ Network::Network(sim::Simulator& simulator, Topology topology,
       topology_(std::move(topology)),
       routing_(topology_),
       config_(config) {
+  validate_config();
+  init_node_arrays(root_rng);
+  adopt_factory(factory);
+}
+
+Network::Network(sim::Simulator& simulator, Topology topology,
+                 const core::DisciplineSpec& spec, NetworkConfig config,
+                 const sim::RandomStream& root_rng)
+    : simulator_(simulator),
+      topology_(std::move(topology)),
+      routing_(topology_),
+      config_(config) {
+  validate_config();
+  init_node_arrays(root_rng);
+  adopt_spec(spec);
+}
+
+Network::~Network() = default;
+
+void Network::validate_config() const {
   if (config_.hop_tx_delay <= 0.0) {
     throw std::invalid_argument("Network: hop_tx_delay must be positive");
   }
   if (config_.hop_jitter < 0.0) {
     throw std::invalid_argument("Network: hop_jitter must be >= 0");
   }
-  nodes_.resize(topology_.node_count());
-  for (NodeId id = 0; id < topology_.node_count(); ++id) {
-    if (id == topology_.sink() || !routing_.reachable(id)) continue;
-    nodes_[id] = std::make_unique<NodeShell>(
-        *this, id, routing_.hops_to_sink(id), factory(id, routing_.hops_to_sink(id)),
-        root_rng.split(id));
+}
+
+void Network::init_node_arrays(const sim::RandomStream& root_rng) {
+  const std::size_t n = topology_.node_count();
+  role_.assign(n, NodeRole::kUnroutable);
+  disc_slot_.assign(n, 0);
+  routing_seq_.assign(n, 0);
+  // Every node gets its private stream, split(id) from the root exactly as
+  // the per-object shells did (split is a pure function of root + id, so
+  // draw sequences are unchanged; sink/unroutable streams are simply idle).
+  rng_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) rng_.push_back(root_rng.split(id));
+  ctx_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const std::uint16_t hops =
+        routing_.reachable(id) ? routing_.hops_to_sink(id) : 0;
+    ctx_.emplace_back(this, id, hops);
+  }
+  for (NodeId sink : topology_.sinks()) role_[sink] = NodeRole::kSink;
+}
+
+core::DelayBuffer& Network::add_buffer_slot(NodeId id, NodeRole role,
+                                            core::DelayBuffer buffer,
+                                            std::size_t capacity) {
+  role_[id] = role;
+  disc_slot_[id] = static_cast<std::uint32_t>(buffers_.size());
+  buffers_.push_back(std::move(buffer));
+  capacity_.push_back(capacity);
+  drops_.push_back(0);
+  preemptions_.push_back(0);
+  return buffers_.back();
+}
+
+void Network::adopt_factory(const DisciplineFactory& factory) {
+  const std::size_t n = topology_.node_count();
+  for (NodeId id = 0; id < n; ++id) {
+    if (role_[id] == NodeRole::kSink || !routing_.reachable(id)) continue;
+    std::unique_ptr<ForwardingDiscipline> built =
+        factory(id, routing_.hops_to_sink(id));
+    if (!built) {
+      throw std::invalid_argument("Network: factory returned a null discipline");
+    }
+    // Built-ins are unwrapped into the flat arrays: their (still empty)
+    // DelayBuffer moves in, the wrapper object is discarded. kind() is the
+    // contract — only the src/core built-ins return a non-kCustom kind.
+    switch (built->kind()) {
+      case DisciplineKind::kImmediate:
+        role_[id] = NodeRole::kImmediate;
+        break;
+      case DisciplineKind::kUnlimitedDelay:
+        add_buffer_slot(id, NodeRole::kUnlimited,
+                        static_cast<core::UnlimitedDelaying&>(*built).take_buffer(),
+                        kUnbounded);
+        break;
+      case DisciplineKind::kDropTail: {
+        auto& droptail = static_cast<core::DropTailDelaying&>(*built);
+        add_buffer_slot(id, NodeRole::kDropTail, droptail.take_buffer(),
+                        droptail.capacity());
+        break;
+      }
+      case DisciplineKind::kRcad: {
+        auto& rcad = static_cast<core::RcadDiscipline&>(*built);
+        add_buffer_slot(id, NodeRole::kRcad, rcad.take_buffer(),
+                        rcad.capacity());
+        break;
+      }
+      case DisciplineKind::kCustom:
+        role_[id] = NodeRole::kCustom;
+        disc_slot_[id] = static_cast<std::uint32_t>(custom_.size());
+        custom_.push_back(std::move(built));
+        break;
+    }
   }
 }
 
-Network::~Network() = default;
+void Network::adopt_spec(const core::DisciplineSpec& spec) {
+  if (spec.kind == DisciplineKind::kCustom) {
+    throw std::invalid_argument(
+        "Network: a DisciplineSpec cannot be kCustom — use a factory");
+  }
+  const bool buffered = spec.kind != DisciplineKind::kImmediate;
+  if (buffered && !spec.delay) {
+    throw std::invalid_argument(
+        "Network: DisciplineSpec needs a delay distribution");
+  }
+  if ((spec.kind == DisciplineKind::kDropTail ||
+       spec.kind == DisciplineKind::kRcad) &&
+      spec.capacity == 0) {
+    throw std::invalid_argument("Network: DisciplineSpec capacity must be >= 1");
+  }
+  const std::size_t n = topology_.node_count();
+  if (buffered) {
+    std::size_t forwarding = 0;
+    for (NodeId id = 0; id < n; ++id) {
+      if (role_[id] != NodeRole::kSink && routing_.reachable(id)) ++forwarding;
+    }
+    buffers_.reserve(forwarding);
+    capacity_.reserve(forwarding);
+    drops_.reserve(forwarding);
+    preemptions_.reserve(forwarding);
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (role_[id] == NodeRole::kSink || !routing_.reachable(id)) continue;
+    switch (spec.kind) {
+      case DisciplineKind::kImmediate:
+        role_[id] = NodeRole::kImmediate;
+        break;
+      case DisciplineKind::kUnlimitedDelay:
+        add_buffer_slot(id, NodeRole::kUnlimited,
+                        core::DelayBuffer(spec.delay), kUnbounded);
+        break;
+      case DisciplineKind::kDropTail:
+        add_buffer_slot(id, NodeRole::kDropTail,
+                        core::DelayBuffer(spec.delay), spec.capacity)
+            .reserve(spec.capacity);
+        break;
+      case DisciplineKind::kRcad:
+        add_buffer_slot(id, NodeRole::kRcad,
+                        core::DelayBuffer(spec.delay, spec.victim),
+                        spec.capacity)
+            .reserve(spec.capacity);
+        break;
+      case DisciplineKind::kCustom:
+        break;  // rejected above
+    }
+  }
+}
+
+void Network::handle(NodeId node, Packet&& packet) {
+  switch (role_[node]) {
+    case NodeRole::kImmediate:
+      transmit_from(node, std::move(packet));
+      break;
+    case NodeRole::kUnlimited:
+      buffers_[disc_slot_[node]].admit(std::move(packet), ctx_[node]);
+      break;
+    case NodeRole::kDropTail: {
+      const std::uint32_t slot = disc_slot_[node];
+      core::DelayBuffer& buffer = buffers_[slot];
+      if (buffer.size() >= capacity_[slot]) {
+        ++drops_[slot];  // packet destroyed; the Erlang-loss event of Eq. (5)
+      } else {
+        buffer.admit(std::move(packet), ctx_[node]);
+      }
+      break;
+    }
+    case NodeRole::kRcad: {
+      const std::uint32_t slot = disc_slot_[node];
+      core::DelayBuffer& buffer = buffers_[slot];
+      if (buffer.size() >= capacity_[slot]) {
+        Packet early = buffer.preempt(ctx_[node]);
+        ++preemptions_[slot];
+        transmit_from(node, std::move(early));
+      }
+      buffer.admit(std::move(packet), ctx_[node]);
+      break;
+    }
+    case NodeRole::kCustom:
+      custom_[disc_slot_[node]]->on_packet(std::move(packet), ctx_[node]);
+      break;
+    case NodeRole::kSink:
+    case NodeRole::kUnroutable:
+      throw std::logic_error("Network: handle() on a node with no discipline");
+  }
+  probe(node);
+}
+
+void Network::transmit_from(NodeId node, Packet&& packet) {
+  // Pick the next hop while the header still shows where the packet came
+  // from (selectors use prev_hop to avoid immediate backtracking), then
+  // update the cleartext header the way MultiHop does on each forward.
+  sim::RandomStream& rng = rng_[node];
+  const NodeId next = pick_next_hop(node, packet, rng);
+  packet.header.prev_hop = node;
+  packet.header.hop_count =
+      static_cast<std::uint16_t>(packet.header.hop_count + 1);
+  packet.header.routing_seq = routing_seq_[node]++;
+  if (!transmit_probes_.empty()) [[unlikely]] {
+    dispatch_transmit_probes(node, next, packet);
+  }
+  double link_delay = config_.hop_tx_delay;
+  if (config_.hop_jitter > 0.0) {
+    link_delay += rng.uniform(0.0, config_.hop_jitter);
+  }
+  // Park the packet in the pool so the link-delay closure carries only a
+  // 16-byte {network, handle} pair — inside the event kernel's inline
+  // budget, so a warm forward never touches the heap. With the paper's
+  // constant per-hop latency (jitter 0) the arrival times of successive
+  // transmits never decrease, so the arrival events ride the event
+  // queue's O(1) FIFO lane instead of its heap; with jitter the call
+  // degrades gracefully (out-of-order times divert to the heap inside).
+  const PacketPool::Handle handle = pool_.put(std::move(packet));
+  simulator_.schedule_after_monotone(link_delay, [this, next, handle] {
+    arrive_from_link(next, handle);
+  });
+  probe(node);
+}
 
 std::uint64_t Network::originate(NodeId origin, crypto::SealedPayload payload) {
-  if (origin >= topology_.node_count() || origin == topology_.sink() ||
-      !nodes_[origin]) {
+  if (origin >= role_.size() || role_[origin] == NodeRole::kSink ||
+      role_[origin] == NodeRole::kUnroutable) {
     throw std::invalid_argument("Network::originate: bad origin node");
   }
   Packet packet;
@@ -109,7 +258,7 @@ std::uint64_t Network::originate(NodeId origin, crypto::SealedPayload payload) {
   packet.uid = uid;
   // The source's own discipline runs first: the source may buffer the packet
   // before its first transmission (the paper's Y0 term, §3.3).
-  nodes_[origin]->handle(std::move(packet));
+  handle(origin, std::move(packet));
   // Counted only after the discipline accepted the packet, so a handler that
   // throws does not inflate the originated tally.
   ++originated_;
@@ -119,8 +268,8 @@ std::uint64_t Network::originate(NodeId origin, crypto::SealedPayload payload) {
 std::uint64_t Network::originate_batch(
     NodeId origin, const crypto::PayloadCodec& codec,
     std::span<const crypto::SensorPayload> payloads) {
-  if (origin >= topology_.node_count() || origin == topology_.sink() ||
-      !nodes_[origin]) {
+  if (origin >= role_.size() || role_[origin] == NodeRole::kSink ||
+      role_[origin] == NodeRole::kUnroutable) {
     throw std::invalid_argument("Network::originate_batch: bad origin node");
   }
   const std::uint64_t first_uid = next_uid_;
@@ -138,7 +287,7 @@ std::uint64_t Network::originate_batch(
       packet.header.hop_count = 0;
       packet.payload = sealed[j];
       packet.uid = next_uid_++;
-      nodes_[origin]->handle(std::move(packet));
+      handle(origin, std::move(packet));
       ++originated_;
     }
   }
@@ -184,23 +333,57 @@ void Network::dispatch_transmit_probes(NodeId from, NodeId to,
   }
 }
 
-const ForwardingDiscipline& Network::discipline(NodeId id) const {
-  if (id >= nodes_.size() || !nodes_[id]) {
-    throw std::out_of_range("Network::discipline: node has no discipline");
+void Network::require_discipline(NodeId id) const {
+  if (id >= role_.size() || role_[id] == NodeRole::kSink ||
+      role_[id] == NodeRole::kUnroutable) {
+    throw std::out_of_range("Network: node has no discipline");
   }
-  return nodes_[id]->discipline();
+}
+
+std::size_t Network::buffered_of(NodeId node) const {
+  switch (role_[node]) {
+    case NodeRole::kUnlimited:
+    case NodeRole::kDropTail:
+    case NodeRole::kRcad:
+      return buffers_[disc_slot_[node]].size();
+    case NodeRole::kCustom:
+      return custom_[disc_slot_[node]]->buffered();
+    default:
+      return 0;
+  }
+}
+
+std::size_t Network::node_buffered(NodeId id) const {
+  require_discipline(id);
+  return buffered_of(id);
+}
+
+std::uint64_t Network::node_preemptions(NodeId id) const {
+  require_discipline(id);
+  if (role_[id] == NodeRole::kRcad) return preemptions_[disc_slot_[id]];
+  if (role_[id] == NodeRole::kCustom) {
+    return custom_[disc_slot_[id]]->preemptions();
+  }
+  return 0;
+}
+
+std::uint64_t Network::node_drops(NodeId id) const {
+  require_discipline(id);
+  if (role_[id] == NodeRole::kDropTail) return drops_[disc_slot_[id]];
+  if (role_[id] == NodeRole::kCustom) return custom_[disc_slot_[id]]->drops();
+  return 0;
 }
 
 void Network::arrive(NodeId node, Packet&& packet) {
-  if (node == topology_.sink()) {
+  if (role_[node] == NodeRole::kSink) {
     deliver(packet);
     return;
   }
-  if (!nodes_[node]) {
+  if (role_[node] == NodeRole::kUnroutable) {
     throw std::logic_error(
         "Network: packet routed to a node with no route to the sink");
   }
-  nodes_[node]->handle(std::move(packet));
+  handle(node, std::move(packet));
 }
 
 void Network::arrive_from_link(NodeId node, PacketPool::Handle handle) {
@@ -216,32 +399,46 @@ void Network::deliver(const Packet& packet) {
 
 void Network::probe(NodeId node) {
   if (occupancy_probe_) {
-    occupancy_probe_(node, simulator_.now(), nodes_[node]->discipline().buffered());
+    occupancy_probe_(node, simulator_.now(), buffered_of(node));
   }
 }
 
 std::uint64_t Network::total_preemptions() const {
   std::uint64_t total = 0;
-  for (const auto& node : nodes_) {
-    if (node) total += node->discipline().preemptions();
-  }
+  for (std::uint64_t p : preemptions_) total += p;
+  for (const auto& d : custom_) total += d->preemptions();
   return total;
 }
 
 std::uint64_t Network::total_drops() const {
   std::uint64_t total = 0;
-  for (const auto& node : nodes_) {
-    if (node) total += node->discipline().drops();
-  }
+  for (std::uint64_t d : drops_) total += d;
+  for (const auto& d : custom_) total += d->drops();
   return total;
 }
 
 std::size_t Network::total_buffered() const {
   std::size_t total = 0;
-  for (const auto& node : nodes_) {
-    if (node) total += node->discipline().buffered();
-  }
+  for (const core::DelayBuffer& buffer : buffers_) total += buffer.size();
+  for (const auto& d : custom_) total += d->buffered();
   return total;
+}
+
+std::size_t Network::memory_bytes() const noexcept {
+  std::size_t bytes = role_.capacity() * sizeof(NodeRole) +
+                      disc_slot_.capacity() * sizeof(std::uint32_t) +
+                      routing_seq_.capacity() * sizeof(std::uint16_t) +
+                      rng_.capacity() * sizeof(sim::RandomStream) +
+                      ctx_.capacity() * sizeof(NodeCtx) +
+                      buffers_.capacity() * sizeof(core::DelayBuffer) +
+                      capacity_.capacity() * sizeof(std::size_t) +
+                      drops_.capacity() * sizeof(std::uint64_t) +
+                      preemptions_.capacity() * sizeof(std::uint64_t) +
+                      custom_.capacity() * sizeof(custom_[0]);
+  for (const core::DelayBuffer& buffer : buffers_) {
+    bytes += buffer.memory_bytes();
+  }
+  return bytes;
 }
 
 }  // namespace tempriv::net

@@ -7,6 +7,8 @@
 
 #include "crypto/payload.h"
 
+#include "core/delay_buffer.h"
+#include "core/discipline_spec.h"
 #include "net/forwarding.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
@@ -71,31 +73,48 @@ using HopSelector = sim::InlineFunction<NodeId(NodeId current,
                                         48>;
 
 /// The store-and-forward sensor network: topology + BFS routing tree +
-/// one ForwardingDiscipline per non-sink node, driven by the simulation
+/// a forwarding discipline per non-sink node, driven by the simulation
 /// kernel. Packets are injected at source nodes via originate() and
-/// surface at the sink via SinkObserver callbacks.
+/// surface at a sink via SinkObserver callbacks.
 ///
-/// The forwarding path is allocation-free in steady state: packets are flat
-/// PODs, link traversals park them in a free-listed PacketPool and schedule
-/// a 16-byte {network, handle} closure (inline in the event kernel), and
-/// per-node buffering stores them in the disciplines' slot pools. See the
-/// packet-path allocation test and bench/micro_packet_path.cpp.
+/// Node state is structure-of-arrays indexed by dense NodeId: per-node role,
+/// RNG stream, routing sequence counter and discipline slot live in parallel
+/// flat vectors, and the built-in disciplines (immediate / unlimited /
+/// drop-tail / RCAD, recognized via ForwardingDiscipline::kind()) are
+/// dispatched by a switch on the role byte — no per-node heap objects and no
+/// virtual call on the forwarding hot path. Factory-produced custom
+/// disciplines keep their objects and virtual dispatch. The per-packet path
+/// is allocation-free in steady state: packets are flat PODs, link
+/// traversals park them in a free-listed PacketPool and schedule a 16-byte
+/// {network, handle} closure (inline in the event kernel), and buffering
+/// holds them in per-node DelayBuffer slot pools stored contiguously here.
 class Network {
  public:
   /// Throws std::invalid_argument if the topology is missing a sink or if
-  /// `config.hop_tx_delay` is not positive.
+  /// `config.hop_tx_delay` is not positive. The factory runs once per
+  /// routable non-sink node in ascending id order; built-in disciplines it
+  /// returns are unwrapped into the flat arrays (their DelayBuffer moves in,
+  /// the wrapper object is discarded), custom ones are kept as objects.
   Network(sim::Simulator& simulator, Topology topology,
           const DisciplineFactory& factory, NetworkConfig config,
           const sim::RandomStream& root_rng);
 
+  /// Uniform built-in policy without any per-node factory objects: every
+  /// routable non-sink node gets `spec`'s discipline with one shared delay
+  /// distribution. This is the construction path for very large networks —
+  /// per-node cost is flat-array slots only.
+  Network(sim::Simulator& simulator, Topology topology,
+          const core::DisciplineSpec& spec, NetworkConfig config,
+          const sim::RandomStream& root_rng);
+
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
-  ~Network();  // out of line: NodeShell is an implementation detail
+  ~Network();
 
   /// Injects a freshly-created packet at `origin` at the current simulation
   /// time. The caller seals the payload (see crypto::PayloadCodec); the
   /// network never looks inside it. Returns the packet uid.
-  /// Throws std::invalid_argument if origin is the sink or unroutable.
+  /// Throws std::invalid_argument if origin is a sink or unroutable.
   std::uint64_t originate(NodeId origin, crypto::SealedPayload payload);
 
   /// Injects a burst of same-origin packets created at the current instant,
@@ -135,8 +154,11 @@ class Network {
   sim::Simulator& simulator() noexcept { return simulator_; }
   double hop_tx_delay() const noexcept { return config_.hop_tx_delay; }
 
-  /// Discipline of a non-sink node (for stats: buffered/preemptions/drops).
-  const ForwardingDiscipline& discipline(NodeId id) const;
+  /// Per-node discipline statistics. Throw std::out_of_range for sinks,
+  /// unroutable nodes and unknown ids (those have no discipline).
+  std::size_t node_buffered(NodeId id) const;
+  std::uint64_t node_preemptions(NodeId id) const;
+  std::uint64_t node_drops(NodeId id) const;
 
   /// Network-wide counters. packets_originated counts only successfully
   /// injected packets (an originate() that throws does not count).
@@ -150,13 +172,72 @@ class Network {
   /// arrival).
   std::size_t packets_in_flight() const noexcept { return pool_.in_flight(); }
 
+  /// Heap bytes held by the per-node arrays, discipline buffers and the
+  /// in-flight pool (excludes topology and routing, which report their own).
+  std::size_t memory_bytes() const noexcept;
+
  private:
-  class NodeShell;  // NodeContext implementation, one per non-sink node
+  /// What a packet arriving at the node meets — the switch key of the
+  /// virtual-free hot path. Values mirror DisciplineKind for the built-ins.
+  enum class NodeRole : std::uint8_t {
+    kSink,        ///< delivery point; packets surface to the observers
+    kUnroutable,  ///< no path to any sink; arrivals are a logic error
+    kImmediate,
+    kUnlimited,
+    kDropTail,
+    kRcad,
+    kCustom,  ///< factory object kept; virtual on_packet dispatch
+  };
+
+  /// The NodeContext the disciplines and DelayBuffers see. One per node in
+  /// a flat vector sized at construction and never resized afterwards —
+  /// buffer release events capture the context address.
+  class NodeCtx final : public NodeContext {
+   public:
+    NodeCtx() = default;
+    NodeCtx(Network* net, NodeId id, std::uint16_t hops)
+        : net_(net), id_(id), hops_(hops) {}
+
+    sim::Simulator& simulator() noexcept override { return net_->simulator_; }
+    sim::RandomStream& rng() noexcept override { return net_->rng_[id_]; }
+    NodeId id() const noexcept override { return id_; }
+    std::uint16_t hops_to_sink() const noexcept override { return hops_; }
+    void transmit(Packet&& packet) override {
+      net_->transmit_from(id_, std::move(packet));
+    }
+
+   private:
+    Network* net_ = nullptr;
+    NodeId id_ = kInvalidNode;
+    std::uint16_t hops_ = 0;
+  };
+
+  void validate_config() const;
+  /// Sizes every per-node array (roles, RNG streams, contexts, counters).
+  void init_node_arrays(const sim::RandomStream& root_rng);
+  void adopt_factory(const DisciplineFactory& factory);
+  void adopt_spec(const core::DisciplineSpec& spec);
+  /// Registers a buffer slot for `id` and returns the new DelayBuffer.
+  core::DelayBuffer& add_buffer_slot(NodeId id, NodeRole role,
+                                     core::DelayBuffer buffer,
+                                     std::size_t capacity);
+
+  /// A packet is at `node` now: run the node's discipline (switch on the
+  /// role byte; the built-ins run inline with no virtual call), then fire
+  /// the occupancy probe — the exact operation order of the historical
+  /// per-object disciplines.
+  void handle(NodeId node, Packet&& packet);
+  /// Hands `packet` to the link layer from `node`: next-hop choice, header
+  /// update, transmit probes, link-delay scheduling, occupancy probe.
+  void transmit_from(NodeId node, Packet&& packet);
 
   void arrive(NodeId node, Packet&& packet);
   void arrive_from_link(NodeId node, PacketPool::Handle handle);
   void deliver(const Packet& packet);
   void probe(NodeId node);
+  std::size_t buffered_of(NodeId node) const;
+  /// Throws std::out_of_range unless `id` is a routable non-sink node.
+  void require_discipline(NodeId id) const;
   NodeId pick_next_hop(NodeId current, const Packet& packet,
                        sim::RandomStream& rng);
   /// Out of line so the common no-probe transmit path stays branch + fall
@@ -167,7 +248,25 @@ class Network {
   Topology topology_;
   RoutingTable routing_;
   NetworkConfig config_;
-  std::vector<std::unique_ptr<NodeShell>> nodes_;  // index = NodeId; sink slot empty
+
+  // Structure-of-arrays node state, all indexed by NodeId.
+  std::vector<NodeRole> role_;
+  std::vector<std::uint32_t> disc_slot_;  // index into buffers_ or custom_
+  std::vector<std::uint16_t> routing_seq_;
+  std::vector<sim::RandomStream> rng_;
+  std::vector<NodeCtx> ctx_;  // stable addresses after construction
+
+  // Dense per-discipline-slot state for the buffering built-ins. buffers_
+  // never grows after construction (release events capture buffer
+  // addresses).
+  std::vector<core::DelayBuffer> buffers_;
+  std::vector<std::size_t> capacity_;  // SIZE_MAX = unbounded
+  std::vector<std::uint64_t> drops_;
+  std::vector<std::uint64_t> preemptions_;
+
+  // Custom (kind() == kCustom) disciplines keep their objects.
+  std::vector<std::unique_ptr<ForwardingDiscipline>> custom_;
+
   std::vector<SinkObserver*> observers_;
   OccupancyProbe occupancy_probe_;
   std::vector<TransmitProbe> transmit_probes_;

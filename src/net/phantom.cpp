@@ -1,5 +1,6 @@
 #include "net/phantom.h"
 
+#include <span>
 #include <stdexcept>
 
 namespace tempriv::net {
@@ -19,7 +20,7 @@ HopSelector phantom_routing_selector(const Topology& topology,
     if (packet.header.hop_count >= walk_hops) {
       return routing.next_hop(current);
     }
-    const std::vector<NodeId>& neighbors = topology.neighbors(current);
+    const std::span<const NodeId> neighbors = topology.neighbors(current);
     // Avoid bouncing straight back when there is any alternative.
     const NodeId came_from = packet.header.prev_hop;
     if (neighbors.size() > 1) {

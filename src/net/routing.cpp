@@ -1,7 +1,5 @@
 #include "net/routing.h"
 
-#include <algorithm>
-#include <deque>
 #include <stdexcept>
 
 namespace tempriv::net {
@@ -13,25 +11,30 @@ RoutingTable::RoutingTable(const Topology& topo) {
   const std::size_t n = topo.node_count();
   next_hop_.assign(n, kInvalidNode);
   hops_.assign(n, 0);
-  reachable_.assign(n, false);
+  sink_of_.assign(n, kInvalidNode);
 
-  std::deque<NodeId> frontier;
-  reachable_[topo.sink()] = true;
-  frontier.push_back(topo.sink());
-  while (!frontier.empty()) {
-    const NodeId current = frontier.front();
-    frontier.pop_front();
-    // Deterministic parent choice: visit neighbors in ascending id order.
-    std::vector<NodeId> nbrs = topo.neighbors(current);
-    std::sort(nbrs.begin(), nbrs.end());
-    for (NodeId nbr : nbrs) {
-      if (reachable_[nbr]) continue;
-      reachable_[nbr] = true;
+  // Flat FIFO frontier (head index instead of pop_front): every node enters
+  // at most once, so reserving n up front removes all steady-state growth.
+  std::vector<NodeId> frontier;
+  frontier.reserve(n);
+  for (NodeId sink : topo.sinks()) {
+    if (sink_of_[sink] != kInvalidNode) continue;
+    sink_of_[sink] = sink;
+    frontier.push_back(sink);
+  }
+  // Topology::neighbors is CSR-backed and sorted ascending, which is exactly
+  // the deterministic visit order the historical sort-per-visit BFS used.
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId current = frontier[head];
+    for (NodeId nbr : topo.neighbors(current)) {
+      if (sink_of_[nbr] != kInvalidNode) continue;
+      sink_of_[nbr] = sink_of_[current];
       next_hop_[nbr] = current;
       hops_[nbr] = static_cast<std::uint16_t>(hops_[current] + 1);
       frontier.push_back(nbr);
     }
   }
+  unreachable_ = n - frontier.size();
 }
 
 NodeId RoutingTable::next_hop(NodeId id) const {
@@ -41,20 +44,20 @@ NodeId RoutingTable::next_hop(NodeId id) const {
 
 std::uint16_t RoutingTable::hops_to_sink(NodeId id) const {
   if (id >= node_count()) throw std::out_of_range("RoutingTable::hops_to_sink: bad id");
-  if (!reachable_[id]) {
+  if (sink_of_[id] == kInvalidNode) {
     throw std::out_of_range("RoutingTable::hops_to_sink: node has no route");
   }
   return hops_[id];
 }
 
-bool RoutingTable::reachable(NodeId id) const {
-  if (id >= node_count()) throw std::out_of_range("RoutingTable::reachable: bad id");
-  return reachable_[id];
+NodeId RoutingTable::sink_of(NodeId id) const {
+  if (id >= node_count()) throw std::out_of_range("RoutingTable::sink_of: bad id");
+  return sink_of_[id];
 }
 
-bool RoutingTable::fully_connected() const noexcept {
-  return std::all_of(reachable_.begin(), reachable_.end(),
-                     [](bool r) { return r; });
+bool RoutingTable::reachable(NodeId id) const {
+  if (id >= node_count()) throw std::out_of_range("RoutingTable::reachable: bad id");
+  return sink_of_[id] != kInvalidNode;
 }
 
 std::vector<NodeId> RoutingTable::path_to_sink(NodeId id) const {
@@ -66,6 +69,12 @@ std::vector<NodeId> RoutingTable::path_to_sink(NodeId id) const {
     path.push_back(next_hop_[path.back()]);
   }
   return path;
+}
+
+std::size_t RoutingTable::memory_bytes() const noexcept {
+  return next_hop_.capacity() * sizeof(NodeId) +
+         hops_.capacity() * sizeof(std::uint16_t) +
+         sink_of_.capacity() * sizeof(NodeId);
 }
 
 }  // namespace tempriv::net

@@ -1,29 +1,79 @@
 #include "net/topology.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace tempriv::net {
 
 NodeId Topology::add_node(Position pos) {
-  adjacency_.emplace_back();
   positions_.push_back(pos);
-  return static_cast<NodeId>(adjacency_.size() - 1);
+  csr_dirty_ = true;
+  return static_cast<NodeId>(positions_.size() - 1);
 }
 
 void Topology::add_edge(NodeId a, NodeId b) {
   if (a >= node_count() || b >= node_count()) {
     throw std::out_of_range("Topology::add_edge: unknown node id");
   }
-  if (a == b || has_edge(a, b)) return;
-  adjacency_[a].push_back(b);
-  adjacency_[b].push_back(a);
+  if (a == b) return;
+  edges_.emplace_back(a, b);
+  csr_dirty_ = true;
 }
 
-const std::vector<NodeId>& Topology::neighbors(NodeId id) const {
+void Topology::reserve(std::size_t nodes, std::size_t edges) {
+  positions_.reserve(nodes);
+  edges_.reserve(edges);
+}
+
+void Topology::ensure_csr() const {
+  if (!csr_dirty_) return;
+  const std::size_t n = node_count();
+  assert(positions_.size() == n);
+  offsets_.assign(n + 1, 0);
+  for (const auto& [a, b] : edges_) {
+    assert(a < n && b < n && a != b && "edge endpoints must be dense node ids");
+    ++offsets_[a + 1];
+    ++offsets_[b + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+  nbrs_.resize(edges_.size() * 2);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [a, b] : edges_) {
+    nbrs_[cursor[a]++] = b;
+    nbrs_[cursor[b]++] = a;
+  }
+  // Sort each row ascending and drop duplicate edges, compacting in place.
+  // The write cursor never overtakes the read cursor (dedup only shrinks),
+  // and offsets_[i] is rewritten only after its row has been consumed.
+  std::uint32_t write = 0;
+  std::uint32_t read_begin = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t read_end = offsets_[i + 1];
+    std::sort(nbrs_.begin() + read_begin, nbrs_.begin() + read_end);
+    const std::uint32_t row_begin = write;
+    for (std::uint32_t j = read_begin; j < read_end; ++j) {
+      if (j == read_begin || nbrs_[j] != nbrs_[j - 1]) nbrs_[write++] = nbrs_[j];
+    }
+    offsets_[i] = row_begin;
+    read_begin = read_end;
+  }
+  offsets_[n] = write;
+  nbrs_.resize(write);
+  csr_dirty_ = false;
+}
+
+std::size_t Topology::edge_count() const {
+  ensure_csr();
+  return nbrs_.size() / 2;
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId id) const {
   if (id >= node_count()) throw std::out_of_range("Topology::neighbors: bad id");
-  return adjacency_[id];
+  ensure_csr();
+  return {nbrs_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]};
 }
 
 const Position& Topology::position(NodeId id) const {
@@ -33,18 +83,38 @@ const Position& Topology::position(NodeId id) const {
 
 bool Topology::has_edge(NodeId a, NodeId b) const {
   if (a >= node_count() || b >= node_count()) return false;
-  const auto& nbrs = adjacency_[a];
-  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+  ensure_csr();
+  const auto begin = nbrs_.begin() + offsets_[a];
+  const auto end = nbrs_.begin() + offsets_[a + 1];
+  return std::binary_search(begin, end, b);
 }
 
 void Topology::set_sink(NodeId id) {
   if (id >= node_count()) throw std::out_of_range("Topology::set_sink: bad id");
-  sink_ = id;
+  sinks_.assign(1, id);
+}
+
+void Topology::add_sink(NodeId id) {
+  if (id >= node_count()) throw std::out_of_range("Topology::add_sink: bad id");
+  if (!is_sink(id)) sinks_.push_back(id);
+}
+
+bool Topology::is_sink(NodeId id) const noexcept {
+  return std::find(sinks_.begin(), sinks_.end(), id) != sinks_.end();
+}
+
+std::size_t Topology::memory_bytes() const noexcept {
+  return positions_.capacity() * sizeof(Position) +
+         edges_.capacity() * sizeof(edges_[0]) +
+         sinks_.capacity() * sizeof(NodeId) +
+         offsets_.capacity() * sizeof(std::uint32_t) +
+         nbrs_.capacity() * sizeof(NodeId);
 }
 
 Topology Topology::line(std::size_t n) {
   if (n < 2) throw std::invalid_argument("Topology::line: needs >= 2 nodes");
   Topology topo;
+  topo.reserve(n, n - 1);
   for (std::size_t i = 0; i < n; ++i) {
     topo.add_node({static_cast<double>(i), 0.0});
   }
@@ -60,6 +130,7 @@ Topology Topology::grid(std::size_t width, std::size_t height, double spacing) {
     throw std::invalid_argument("Topology::grid: empty dimension");
   }
   Topology topo;
+  topo.reserve(width * height, 2 * width * height);
   for (std::size_t iy = 0; iy < height; ++iy) {
     for (std::size_t ix = 0; ix < width; ++ix) {
       topo.add_node({static_cast<double>(ix) * spacing,
@@ -79,30 +150,104 @@ Topology Topology::grid(std::size_t width, std::size_t height, double spacing) {
   return topo;
 }
 
+void Topology::connect_within_radius(double radius) {
+  const std::size_t n = node_count();
+  if (n < 2) return;
+  double min_x = positions_[0].x, max_x = min_x;
+  double min_y = positions_[0].y, max_y = min_y;
+  for (const Position& p : positions_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  // Cell side: at least the connection radius (so candidates always sit in
+  // the 3×3 neighborhood), but no smaller than extent/√n — a tiny radius
+  // must not blow the grid past ~n cells.
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+  const double floor_side =
+      extent / std::ceil(std::sqrt(static_cast<double>(n)));
+  const double cell = std::max({std::abs(radius), floor_side,
+                                std::numeric_limits<double>::min()});
+  const std::size_t cols = static_cast<std::size_t>((max_x - min_x) / cell) + 1;
+  const std::size_t rows = static_cast<std::size_t>((max_y - min_y) / cell) + 1;
+  auto cell_x = [&](NodeId i) {
+    return std::min(static_cast<std::size_t>((positions_[i].x - min_x) / cell),
+                    cols - 1);
+  };
+  auto cell_y = [&](NodeId i) {
+    return std::min(static_cast<std::size_t>((positions_[i].y - min_y) / cell),
+                    rows - 1);
+  };
+  // Counting-sort the nodes into their cells.
+  std::vector<std::uint32_t> start(rows * cols + 1, 0);
+  for (NodeId i = 0; i < n; ++i) ++start[cell_y(i) * cols + cell_x(i) + 1];
+  for (std::size_t c = 0; c + 1 < start.size(); ++c) start[c + 1] += start[c];
+  std::vector<NodeId> bucket(n);
+  std::vector<std::uint32_t> cursor(start.begin(), start.end() - 1);
+  for (NodeId i = 0; i < n; ++i) {
+    bucket[cursor[cell_y(i) * cols + cell_x(i)]++] = i;
+  }
+  // Each node scans its 3×3 cell neighborhood; b > a keeps every pair once.
+  // The distance test is the same expression (and operand order) as the
+  // pairwise-scan reference, so the edge set is bit-identical.
+  const double r2 = radius * radius;
+  for (NodeId a = 0; a < n; ++a) {
+    const std::size_t acx = cell_x(a);
+    const std::size_t acy = cell_y(a);
+    const Position& pa = positions_[a];
+    const std::size_t cy_lo = acy == 0 ? 0 : acy - 1;
+    const std::size_t cy_hi = std::min(acy + 1, rows - 1);
+    const std::size_t cx_lo = acx == 0 ? 0 : acx - 1;
+    const std::size_t cx_hi = std::min(acx + 1, cols - 1);
+    for (std::size_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (std::size_t cx = cx_lo; cx <= cx_hi; ++cx) {
+        const std::size_t c = cy * cols + cx;
+        for (std::uint32_t k = start[c]; k < start[c + 1]; ++k) {
+          const NodeId b = bucket[k];
+          if (b <= a) continue;
+          const Position& pb = positions_[b];
+          const double dx = pa.x - pb.x;
+          const double dy = pa.y - pb.y;
+          if (dx * dx + dy * dy <= r2) add_edge(a, b);
+        }
+      }
+    }
+  }
+}
+
 Topology Topology::random_geometric(std::size_t n, double side, double radius,
                                     sim::RandomStream& rng) {
   if (n == 0) throw std::invalid_argument("Topology::random_geometric: n == 0");
   Topology topo;
+  topo.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     topo.add_node({rng.uniform(0.0, side), rng.uniform(0.0, side)});
   }
-  const double r2 = radius * radius;
-  for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = a + 1; b < n; ++b) {
-      const Position& pa = topo.position(a);
-      const Position& pb = topo.position(b);
-      const double dx = pa.x - pb.x;
-      const double dy = pa.y - pb.y;
-      if (dx * dx + dy * dy <= r2) topo.add_edge(a, b);
-    }
-  }
+  topo.connect_within_radius(radius);
   topo.set_sink(0);
+  return topo;
+}
+
+Topology Topology::random_geometric_multi_sink(std::size_t n, double side,
+                                               double radius,
+                                               std::size_t sink_count,
+                                               sim::RandomStream& rng) {
+  if (sink_count == 0 || sink_count > n) {
+    throw std::invalid_argument(
+        "Topology::random_geometric_multi_sink: need 1 <= sink_count <= n");
+  }
+  Topology topo = random_geometric(n, side, radius, rng);
+  for (std::size_t s = 1; s < sink_count; ++s) {
+    topo.add_sink(static_cast<NodeId>(s));
+  }
   return topo;
 }
 
 Topology Topology::star(std::size_t leaves) {
   if (leaves == 0) throw std::invalid_argument("Topology::star: no leaves");
   Topology topo;
+  topo.reserve(leaves + 1, leaves);
   const NodeId hub = topo.add_node({0.0, 0.0});
   topo.set_sink(hub);
   for (std::size_t i = 0; i < leaves; ++i) {
@@ -117,6 +262,7 @@ Topology Topology::star(std::size_t leaves) {
 Topology Topology::binary_tree(std::size_t depth) {
   Topology topo;
   const std::size_t nodes = (std::size_t{1} << (depth + 1)) - 1;
+  topo.reserve(nodes, nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     // Position by level for plotting: x = index within level, y = level.
     std::size_t level = 0;

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "net/packet.h"
@@ -21,27 +23,63 @@ struct Position {
   double y = 0.0;
 };
 
-/// An undirected connectivity graph of sensor nodes plus a designated sink.
-/// Construction helpers cover the topologies used across the evaluation:
-/// lines (the paper's §3.3 path model), grids (habitat monitoring),
-/// random-geometric graphs (generic deployments) and the paper's Figure-1
-/// topology of four source paths converging on a common sink.
+/// An undirected connectivity graph of sensor nodes plus one or more
+/// designated sinks. Construction helpers cover the topologies used across
+/// the evaluation: lines (the paper's §3.3 path model), grids (habitat
+/// monitoring), random-geometric graphs (generic deployments, single- and
+/// multi-sink) and the paper's Figure-1 topology of four source paths
+/// converging on a common sink.
+///
+/// Storage is builder + CSR: add_edge appends to a flat edge list in O(1)
+/// (duplicates and ordering are tolerated), and the first adjacency query
+/// compacts everything into a CSR index — an (n+1)-entry offset array over
+/// one packed, per-row-sorted, deduplicated neighbor array. Queries after a
+/// mutation rebuild the index lazily; a fully built 10⁶-node geometric graph
+/// costs two flat arrays, not a million heap-allocated vectors. The CSR
+/// cache is mutable state: finish mutating (or issue one query) before
+/// sharing a const Topology across threads.
 class Topology {
  public:
   /// Adds a node at `pos`; returns its id (dense, starting at 0).
   NodeId add_node(Position pos = {});
 
-  /// Adds an undirected edge; ignores self-loops and duplicates.
+  /// Adds an undirected edge in O(1); self-loops are ignored and duplicates
+  /// are tolerated (collapsed when the CSR index is built).
   /// Throws std::out_of_range for unknown node ids.
   void add_edge(NodeId a, NodeId b);
 
-  std::size_t node_count() const noexcept { return adjacency_.size(); }
-  const std::vector<NodeId>& neighbors(NodeId id) const;
+  /// Pre-sizes the builder arrays so bulk construction never reallocates
+  /// mid-loop.
+  void reserve(std::size_t nodes, std::size_t edges = 0);
+
+  std::size_t node_count() const noexcept { return positions_.size(); }
+
+  /// Unique undirected edges (builds the CSR index if stale).
+  std::size_t edge_count() const;
+
+  /// Neighbors of `id`, sorted ascending, valid until the next mutation.
+  /// Throws std::out_of_range for unknown node ids.
+  std::span<const NodeId> neighbors(NodeId id) const;
+
   const Position& position(NodeId id) const;
+
+  /// O(log deg) binary search over the CSR row; false for unknown ids.
   bool has_edge(NodeId a, NodeId b) const;
 
-  NodeId sink() const noexcept { return sink_; }
+  /// The primary sink (first registered); kInvalidNode when none is set.
+  NodeId sink() const noexcept {
+    return sinks_.empty() ? kInvalidNode : sinks_.front();
+  }
+  /// Makes `id` the sole sink (replaces any previously registered sinks).
   void set_sink(NodeId id);
+  /// Registers an additional sink (ignored if already registered). Routing
+  /// built over a multi-sink topology sends each node to its nearest sink.
+  void add_sink(NodeId id);
+  std::span<const NodeId> sinks() const noexcept { return sinks_; }
+  bool is_sink(NodeId id) const noexcept;
+
+  /// Heap bytes held by the builder arrays plus the CSR index.
+  std::size_t memory_bytes() const noexcept;
 
   /// Line S = node0 — node1 — ... — node(n-1) = sink. Requires n >= 2.
   static Topology line(std::size_t n);
@@ -53,9 +91,22 @@ class Topology {
 
   /// n nodes placed uniformly at random in [0, side]² and connected when
   /// within `radius`. Node 0 is the sink. Connectivity is not guaranteed;
-  /// callers should check routing coverage (see routing.h).
+  /// callers should check routing coverage (see routing.h). Edge discovery
+  /// uses a uniform-grid spatial hash (cell side >= radius, 3×3 neighborhood
+  /// scan), so construction is O(n + edges) instead of O(n²); placements and
+  /// the edge set are identical to the pairwise-scan reference for the same
+  /// RNG state.
   static Topology random_geometric(std::size_t n, double side, double radius,
                                    sim::RandomStream& rng);
+
+  /// Like random_geometric, but nodes 0..sink_count-1 are all registered as
+  /// sinks (nearest-sink routing). Node placement draws are identical to the
+  /// single-sink builder for the same RNG state. Requires
+  /// 1 <= sink_count <= n.
+  static Topology random_geometric_multi_sink(std::size_t n, double side,
+                                              double radius,
+                                              std::size_t sink_count,
+                                              sim::RandomStream& rng);
 
   /// Star: `leaves` sources all one hop from the central sink (node 0) —
   /// the maximal-aggregation case for the §4 superposition analysis.
@@ -79,9 +130,19 @@ class Topology {
   static ConvergingPaths paper_figure1();
 
  private:
-  std::vector<std::vector<NodeId>> adjacency_;
+  void ensure_csr() const;
+  /// Spatial-hash edge discovery over the current positions (see
+  /// random_geometric).
+  void connect_within_radius(double radius);
+
   std::vector<Position> positions_;
-  NodeId sink_ = kInvalidNode;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // raw; dups collapse in CSR
+  std::vector<NodeId> sinks_;
+
+  // Lazily (re)built CSR adjacency: row i = nbrs_[offsets_[i]..offsets_[i+1]).
+  mutable std::vector<std::uint32_t> offsets_;
+  mutable std::vector<NodeId> nbrs_;
+  mutable bool csr_dirty_ = true;
 };
 
 struct ConvergingPaths {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/factories.h"
@@ -191,16 +193,71 @@ TEST(Network, OccupancyProbeFiresOnArrivalsAndTransmissions) {
   EXPECT_EQ(max_seen, 0u);  // immediate forwarding never buffers
 }
 
-TEST(Network, DisciplineAccessorExposesStats) {
+TEST(Network, PerNodeStatAccessorsExposeStats) {
   sim::Simulator sim;
   Network net(sim, Topology::line(3), core::immediate_factory(), {},
               sim::RandomStream(1));
-  EXPECT_EQ(net.discipline(0).buffered(), 0u);
-  EXPECT_THROW(net.discipline(net.topology().sink()), std::out_of_range);
-  EXPECT_THROW(net.discipline(42), std::out_of_range);
+  EXPECT_EQ(net.node_buffered(0), 0u);
+  EXPECT_EQ(net.node_preemptions(0), 0u);
+  EXPECT_EQ(net.node_drops(0), 0u);
+  EXPECT_THROW(net.node_buffered(net.topology().sink()), std::out_of_range);
+  EXPECT_THROW(net.node_preemptions(net.topology().sink()), std::out_of_range);
+  EXPECT_THROW(net.node_drops(net.topology().sink()), std::out_of_range);
+  EXPECT_THROW(net.node_buffered(42), std::out_of_range);
   EXPECT_EQ(net.total_buffered(), 0u);
   EXPECT_EQ(net.total_preemptions(), 0u);
   EXPECT_EQ(net.total_drops(), 0u);
+}
+
+TEST(Network, SpecConstructorMatchesFactoryNetwork) {
+  // The DisciplineSpec fast path must behave exactly like the equivalent
+  // factory: same deliveries at the same instants for the same root RNG.
+  const auto run = [](bool use_spec) {
+    sim::Simulator sim;
+    const auto built = Topology::converging_paths({6, 5}, 2);
+    std::optional<Network> net;
+    if (use_spec) {
+      net.emplace(sim, built.topology,
+                  core::DisciplineSpec::rcad_exponential(4.0, 2), NetworkConfig{},
+                  sim::RandomStream(9));
+    } else {
+      net.emplace(sim, built.topology, core::rcad_exponential_factory(4.0, 2),
+                  NetworkConfig{}, sim::RandomStream(9));
+    }
+    RecordingObserver observer;
+    net->add_sink_observer(&observer);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      net->originate(built.sources[i % 2], sealed_at(0.0, built.sources[i % 2], i));
+    }
+    sim.run();
+    std::vector<std::pair<std::uint64_t, double>> out;
+    for (const auto& d : observer.deliveries) out.emplace_back(d.packet.uid, d.arrival);
+    return out;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Network, MultiSinkDeliversToNearestSink) {
+  // Line 0-1-2-3-4 with sinks at both ends: each node routes to its nearest
+  // sink (node 1 → sink 0 at 1 hop, node 3 → sink 4 at 1 hop).
+  sim::Simulator sim;
+  Topology topo = Topology::line(5);  // sink at 4
+  topo.add_sink(0);
+  const RoutingTable routing(topo);
+  EXPECT_EQ(routing.sink_of(1), 0u);
+  EXPECT_EQ(routing.sink_of(3), 4u);
+  Network net(sim, topo, core::immediate_factory(), {}, sim::RandomStream(1));
+  RecordingObserver observer;
+  net.add_sink_observer(&observer);
+  net.originate(1, sealed_at(0.0, 1));
+  net.originate(3, sealed_at(0.0, 3, 1));
+  sim.run();
+  ASSERT_EQ(observer.deliveries.size(), 2u);
+  // Both are one hop from their nearest sink.
+  EXPECT_DOUBLE_EQ(observer.deliveries[0].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(observer.deliveries[1].arrival, 1.0);
+  // Originating at a secondary sink is rejected like the primary.
+  EXPECT_THROW(net.originate(0, sealed_at(0.0, 0)), std::invalid_argument);
 }
 
 TEST(Network, PacketsFromDifferentFlowsInterleaveCorrectly) {

@@ -1,0 +1,238 @@
+// CSR adjacency and spatial-hash construction regression suite: the packed
+// sorted-row representation must agree with a straightforward builder-side
+// reference on every topology factory, the grid-hash random_geometric must
+// reproduce the O(n²) pairwise scan bit-for-bit (same RNG draw order, same
+// placements, same edge set), and multi-sink routing must hand every node
+// to its nearest sink with actionable coverage diagnostics.
+
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/routing.h"
+
+namespace tempriv::net {
+namespace {
+
+/// The pre-CSR reference: the O(n²) pairwise-distance builder
+/// random_geometric replaced. Placement loop and distance predicate are the
+/// expressions the production builder must match bit-for-bit.
+Topology brute_force_geometric(std::size_t n, double side, double radius,
+                               sim::RandomStream& rng) {
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_node({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  const double r2 = radius * radius;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const Position& pa = topo.position(a);
+      const Position& pb = topo.position(b);
+      const double dx = pa.x - pb.x;
+      const double dy = pa.y - pb.y;
+      if (dx * dx + dy * dy <= r2) topo.add_edge(a, b);
+    }
+  }
+  topo.set_sink(0);
+  return topo;
+}
+
+/// Checks the CSR invariants and cross-checks every row against has_edge.
+void expect_csr_well_formed(const Topology& topo) {
+  std::size_t total_degree = 0;
+  for (NodeId id = 0; id < topo.node_count(); ++id) {
+    const auto row = topo.neighbors(id);
+    total_degree += row.size();
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end())) << "node " << id;
+    EXPECT_EQ(std::adjacent_find(row.begin(), row.end()), row.end())
+        << "duplicate neighbor at node " << id;
+    for (NodeId nbr : row) {
+      ASSERT_LT(nbr, topo.node_count());
+      EXPECT_NE(nbr, id) << "self loop at node " << id;
+      EXPECT_TRUE(topo.has_edge(id, nbr));
+      EXPECT_TRUE(topo.has_edge(nbr, id)) << "asymmetric edge " << id;
+      // Symmetric row membership.
+      const auto back = topo.neighbors(nbr);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), id));
+    }
+  }
+  EXPECT_EQ(total_degree, 2 * topo.edge_count());
+}
+
+TEST(TopologyCsr, AllFactoriesProduceWellFormedAdjacency) {
+  sim::RandomStream rng(123);
+  const Topology geometric = Topology::random_geometric(60, 10.0, 2.5, rng);
+  const std::vector<const Topology*> topos = {&geometric};
+  expect_csr_well_formed(Topology::line(7));
+  expect_csr_well_formed(Topology::grid(5, 4));
+  expect_csr_well_formed(Topology::star(9));
+  expect_csr_well_formed(Topology::binary_tree(4));
+  expect_csr_well_formed(Topology::converging_paths({6, 9, 5}, 2).topology);
+  expect_csr_well_formed(Topology::paper_figure1().topology);
+  expect_csr_well_formed(geometric);
+}
+
+TEST(TopologyCsr, MatchesIncrementalEdgeInsertion) {
+  // Hand-built graph with duplicate and reversed insertions: the CSR rows
+  // must collapse them and agree with the de-duplicated edge set.
+  Topology topo;
+  for (int i = 0; i < 6; ++i) topo.add_node();
+  const std::vector<std::pair<NodeId, NodeId>> inserted = {
+      {0, 1}, {1, 0}, {0, 1}, {2, 5}, {4, 3}, {3, 4}, {1, 5}, {0, 5}};
+  std::set<std::pair<NodeId, NodeId>> unique;
+  for (const auto& [a, b] : inserted) {
+    topo.add_edge(a, b);
+    unique.emplace(std::min(a, b), std::max(a, b));
+  }
+  EXPECT_EQ(topo.edge_count(), unique.size());
+  for (NodeId id = 0; id < topo.node_count(); ++id) {
+    std::vector<NodeId> expected;
+    for (const auto& [a, b] : unique) {
+      if (a == id) expected.push_back(b);
+      if (b == id) expected.push_back(a);
+    }
+    std::sort(expected.begin(), expected.end());
+    const auto row = topo.neighbors(id);
+    EXPECT_TRUE(std::ranges::equal(row, expected)) << "node " << id;
+  }
+  expect_csr_well_formed(topo);
+}
+
+TEST(TopologyCsr, RebuildsAfterMutation) {
+  Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_node();
+  topo.add_edge(0, 1);
+  EXPECT_EQ(topo.neighbors(0).size(), 1u);  // builds the CSR index
+  topo.add_edge(0, 2);                      // invalidates it
+  EXPECT_EQ(topo.neighbors(0).size(), 2u);  // rebuilt lazily
+  EXPECT_TRUE(topo.has_edge(0, 2));
+  const NodeId added = topo.add_node();
+  EXPECT_EQ(topo.neighbors(added).size(), 0u);
+}
+
+TEST(TopologyCsr, GridHashGeometricMatchesBruteForceReference) {
+  // Same RNG seed through both builders: placements must be bit-identical
+  // (identical draw order) and the edge sets must match exactly, across
+  // sparse, dense and degenerate-radius regimes.
+  struct Case {
+    std::size_t n;
+    double side;
+    double radius;
+  };
+  const Case cases[] = {
+      {40, 10.0, 2.0},   // sparse
+      {80, 8.0, 3.0},    // dense neighborhoods
+      {25, 5.0, 20.0},   // radius > extent: complete graph
+      {30, 10.0, 0.05},  // radius << spacing: mostly isolated
+      {1, 4.0, 1.0},     // single node
+  };
+  std::uint64_t seed = 1000;
+  for (const Case& c : cases) {
+    sim::RandomStream rng_fast(++seed);
+    sim::RandomStream rng_ref(seed);
+    const Topology fast = Topology::random_geometric(c.n, c.side, c.radius, rng_fast);
+    const Topology ref = brute_force_geometric(c.n, c.side, c.radius, rng_ref);
+    ASSERT_EQ(fast.node_count(), ref.node_count());
+    // Both streams must have advanced identically (2n draws each).
+    EXPECT_EQ(rng_fast.uniform(0.0, 1.0), rng_ref.uniform(0.0, 1.0));
+    for (NodeId id = 0; id < c.n; ++id) {
+      ASSERT_EQ(fast.position(id).x, ref.position(id).x) << "node " << id;
+      ASSERT_EQ(fast.position(id).y, ref.position(id).y) << "node " << id;
+      const auto fast_row = fast.neighbors(id);
+      const auto ref_row = ref.neighbors(id);
+      ASSERT_TRUE(std::ranges::equal(fast_row, ref_row))
+          << "edge mismatch at node " << id << " (n=" << c.n
+          << " radius=" << c.radius << ")";
+    }
+    EXPECT_EQ(fast.sink(), ref.sink());
+  }
+}
+
+TEST(TopologyCsr, MultiSinkGeometricPlacementsMatchSingleSink) {
+  sim::RandomStream rng_multi(42);
+  sim::RandomStream rng_single(42);
+  const Topology multi =
+      Topology::random_geometric_multi_sink(50, 10.0, 2.0, 4, rng_multi);
+  const Topology single = Topology::random_geometric(50, 10.0, 2.0, rng_single);
+  ASSERT_EQ(multi.sinks().size(), 4u);
+  for (NodeId id = 0; id < 50; ++id) {
+    EXPECT_EQ(multi.position(id).x, single.position(id).x);
+    EXPECT_TRUE(std::ranges::equal(multi.neighbors(id), single.neighbors(id)));
+  }
+  EXPECT_EQ(multi.sink(), single.sink());  // primary sink unchanged
+  for (NodeId s = 0; s < 4; ++s) EXPECT_TRUE(multi.is_sink(s));
+  EXPECT_FALSE(multi.is_sink(4));
+  EXPECT_THROW(
+      Topology::random_geometric_multi_sink(10, 5.0, 1.0, 0, rng_multi),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Topology::random_geometric_multi_sink(10, 5.0, 1.0, 11, rng_multi),
+      std::invalid_argument);
+}
+
+TEST(TopologyCsr, NearestSinkRoutingAndCoverageDiagnostics) {
+  // Two 3-node islands, one sink each, plus one disconnected node: routing
+  // must assign each island to its own sink and count the stray.
+  Topology topo;
+  for (int i = 0; i < 7; ++i) topo.add_node();
+  topo.add_edge(0, 1);
+  topo.add_edge(1, 2);
+  topo.add_edge(3, 4);
+  topo.add_edge(4, 5);
+  topo.set_sink(0);
+  topo.add_sink(3);
+  const RoutingTable routing(topo);
+  EXPECT_EQ(routing.sink_of(2), 0u);
+  EXPECT_EQ(routing.sink_of(5), 3u);
+  EXPECT_EQ(routing.sink_of(0), 0u);
+  EXPECT_EQ(routing.sink_of(6), kInvalidNode);
+  EXPECT_EQ(routing.hops_to_sink(2), 2u);
+  EXPECT_EQ(routing.hops_to_sink(5), 2u);
+  EXPECT_EQ(routing.unreachable_count(), 1u);
+  EXPECT_FALSE(routing.fully_connected());
+  EXPECT_FALSE(routing.reachable(6));
+
+  // Fully covered multi-sink graph reports zero unreachable.
+  Topology line = Topology::line(6);
+  line.add_sink(0);
+  const RoutingTable covered(line);
+  EXPECT_EQ(covered.unreachable_count(), 0u);
+  EXPECT_TRUE(covered.fully_connected());
+}
+
+TEST(TopologyCsr, SingleSinkRoutingUnchangedByRewrite) {
+  // The historical deterministic-parent contract: among equal-distance
+  // parents the smaller id wins (diamond 0-{1,2}-3, sink 0).
+  Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_node();
+  topo.add_edge(0, 1);
+  topo.add_edge(0, 2);
+  topo.add_edge(1, 3);
+  topo.add_edge(2, 3);
+  topo.set_sink(0);
+  const RoutingTable routing(topo);
+  EXPECT_EQ(routing.next_hop(3), 1u);
+  EXPECT_EQ(routing.sink_of(3), 0u);
+  EXPECT_EQ(routing.unreachable_count(), 0u);
+}
+
+TEST(TopologyCsr, MemoryAccountingScalesWithGraphNotObjects) {
+  sim::RandomStream rng(7);
+  const Topology topo = Topology::random_geometric(2000, 44.7, 1.8, rng);
+  topo.edge_count();  // force the CSR build
+  const RoutingTable routing(topo);
+  // Flat arrays only: a few dozen bytes per node + 8 per directed edge.
+  EXPECT_GT(topo.memory_bytes(), 2000 * sizeof(Position));
+  EXPECT_LT(topo.memory_bytes(),
+            2000 * 128 + topo.edge_count() * 64);
+  EXPECT_GE(routing.memory_bytes(), 2000 * 10);  // 4 + 2 + 4 bytes per node
+}
+
+}  // namespace
+}  // namespace tempriv::net

@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "core/delay_buffer.h"
+#include "core/discipline_spec.h"
 #include "core/factories.h"
 #include "crypto/payload.h"
 #include "net/network.h"
 #include "net/packet_pool.h"
+#include "net/routing.h"
+#include "net/topology.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -278,6 +281,40 @@ TEST(AllocGuard, WarmBatchSealAndOriginateAllocatesNothing) {
       << "batched seal/originate allocated on the warm path";
   EXPECT_EQ(network.packets_delivered(), 508u * kBurst);
   for (const auto& payload : opened) ASSERT_TRUE(payload.has_value());
+}
+
+TEST(AllocGuard, TopologyAndRoutingAllocationsScaleWithArraysNotNodes) {
+  // The million-node contract: building a geometric topology, its CSR
+  // index, the routing table, and a spec-constructed network must cost a
+  // bounded number of allocations (one per flat array plus geometric
+  // vector growth), never one-or-more per node. With per-node objects this
+  // count was >= n; the bound below leaves two orders of magnitude of
+  // headroom at n = 20000.
+  constexpr std::size_t kNodes = 20000;
+  RandomStream rng(41);
+  const std::size_t before_build = allocations();
+  const net::Topology topo = net::Topology::random_geometric_multi_sink(
+      kNodes, 141.4, 1.8, 8, rng);  // unit density, mean degree ~10
+  topo.edge_count();                // force the CSR build
+  const net::RoutingTable routing(topo);
+  const std::size_t graph_allocs = allocations() - before_build;
+  EXPECT_LT(graph_allocs, 200u)
+      << "topology/routing construction allocates per node";
+  // Mean degree ~10 at unit density: the giant component covers the graph.
+  EXPECT_LT(routing.unreachable_count(), kNodes / 10);
+
+  Simulator simulator;
+  const std::size_t before_net = allocations();
+  const net::Network network(simulator, topo,
+                             core::DisciplineSpec::rcad_exponential(30.0, 10),
+                             {}, RandomStream(42));
+  const std::size_t net_allocs = allocations() - before_net;
+  // Flat arrays plus one DelayBuffer slot-pool + heap reserve per
+  // forwarding node: ~2 allocations per node, never the 4+ the per-object
+  // NodeShell/discipline/distribution layout cost.
+  EXPECT_LT(net_allocs, 3 * kNodes)
+      << "network construction regressed to per-node object allocation";
+  EXPECT_GT(network.memory_bytes(), kNodes * sizeof(std::uint32_t));
 }
 
 TEST(AllocGuard, WarmDelayBufferChurnAllocatesNothing) {
