@@ -7,8 +7,101 @@
 #
 #   scripts/bench_engine.sh [build-dir]          # default: build
 #   BENCH_REPETITIONS=9 scripts/bench_engine.sh  # more repetitions
+#
+# Telemetry overhead gate (see "Measuring telemetry overhead" in
+# EXPERIMENTS.md): interleaved A/B rounds of the event-queue hot-path
+# benchmark between a probes-off and a probes-on build, gating the median
+# overhead below TELEMETRY_GATE_PCT (default 3%). Writes BENCH_telemetry.json.
+#
+#   scripts/bench_engine.sh --telemetry-gate [off-dir] [on-dir]
+#                                            # defaults: build build-telemetry
+#   TELEMETRY_GATE_ROUNDS=15 scripts/bench_engine.sh --telemetry-gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--telemetry-gate" ]; then
+  OFF_DIR=${2:-build}
+  ON_DIR=${3:-build-telemetry}
+  ROUNDS=${TELEMETRY_GATE_ROUNDS:-9}
+  GATE_PCT=${TELEMETRY_GATE_PCT:-3}
+  FILTER='BM_EventQueueScheduleAndPop'
+
+  cmake --build "$OFF_DIR" --target micro_engine -j >/dev/null
+  cmake --build "$ON_DIR" --target micro_engine -j >/dev/null
+
+  GATE_TMP=$(mktemp -d)
+  trap 'rm -rf "$GATE_TMP"' EXIT
+
+  # Alternate OFF/ON within every round so slow drift (thermal, other load)
+  # biases both sides equally instead of whichever ran last.
+  echo "== telemetry gate: $ROUNDS interleaved rounds of $FILTER =="
+  for ((r = 0; r < ROUNDS; ++r)); do
+    "./$OFF_DIR/bench/micro_engine" --benchmark_filter="$FILTER" \
+      --benchmark_format=json >"$GATE_TMP/off-$r.json" 2>/dev/null
+    "./$ON_DIR/bench/micro_engine" --benchmark_filter="$FILTER" \
+      --benchmark_format=json >"$GATE_TMP/on-$r.json" 2>/dev/null
+    echo "  round $((r + 1))/$ROUNDS done"
+  done
+
+  python3 - "$GATE_TMP" "$ROUNDS" "$GATE_PCT" BENCH_telemetry.json <<'PY'
+import glob
+import json
+import sys
+import time
+
+tmp, rounds, gate_pct, out_path = sys.argv[1:5]
+
+def samples(pattern):
+    """name -> sorted real_time samples (ns) across all rounds."""
+    runs = {}
+    for path in sorted(glob.glob(f"{tmp}/{pattern}")):
+        for b in json.load(open(path)).get("benchmarks", []):
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+                b.get("time_unit", "ns")]
+            runs.setdefault(b["name"], []).append(b["real_time"] * scale)
+    return {name: sorted(v) for name, v in runs.items()}
+
+off = samples("off-*.json")
+on = samples("on-*.json")
+
+gate = float(gate_pct)
+doc = {
+    "schema": "tempriv-bench-telemetry/1",
+    "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "rounds": int(rounds),
+    "gate_pct": gate,
+    "benchmarks": {},
+}
+failed = []
+for name in sorted(off):
+    if name not in on:
+        continue
+    med_off = off[name][len(off[name]) // 2]
+    med_on = on[name][len(on[name]) // 2]
+    overhead = (med_on / med_off - 1.0) * 100.0
+    doc["benchmarks"][name] = {
+        "off_median_ns": round(med_off, 1),
+        "on_median_ns": round(med_on, 1),
+        "overhead_pct": round(overhead, 2),
+    }
+    verdict = "PASS" if overhead < gate else "FAIL"
+    print(f"  {name}: off {med_off:.1f} ns, on {med_on:.1f} ns, "
+          f"overhead {overhead:+.2f}%  [{verdict}]")
+    if overhead >= gate:
+        failed.append(name)
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+if not doc["benchmarks"]:
+    sys.exit("telemetry gate: no benchmarks matched on both sides")
+if failed:
+    sys.exit(f"telemetry gate: overhead >= {gate}% on: {', '.join(failed)}")
+print(f"telemetry gate: all benchmarks under {gate}% overhead")
+PY
+  exit 0
+fi
 
 BUILD_DIR=${1:-build}
 REPS=${BENCH_REPETITIONS:-5}

@@ -10,6 +10,7 @@
 #include "campaign/jsonio.h"
 #include "campaign/runner.h"
 #include "campaign/sweeps.h"
+#include "telemetry/probes.h"
 
 namespace tempriv::campaign {
 
@@ -319,6 +320,7 @@ MergeCheck check_shards(const std::vector<ShardInput>& shards) {
 }
 
 MergedCampaign merge_shards(const std::vector<ShardInput>& shards) {
+  TEMPRIV_TLM_SPAN("merge");
   const MergeCheck check = check_shards(shards);
   if (!check.ok()) {
     std::string joined = "shard set cannot merge:";

@@ -5,22 +5,67 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ostream>
+#include <sstream>
 #include <vector>
 
 namespace tempriv::campaign {
 
-void PipeProgress::job_done(std::uint64_t sim_events) {
+namespace {
+
+void write_record(int fd, char tag, std::uint64_t value) {
   char buffer[32];
-  const int n = std::snprintf(buffer, sizeof buffer, "E %llu\n",
-                              static_cast<unsigned long long>(sim_events));
+  const int n = std::snprintf(buffer, sizeof buffer, "%c %llu\n", tag,
+                              static_cast<unsigned long long>(value));
   if (n <= 0) return;
   // One atomic write per record; if the parent is gone EPIPE is ignored —
   // progress is measurement-only and must never fail a shard.
-  [[maybe_unused]] const ssize_t written = ::write(fd_, buffer, static_cast<std::size_t>(n));
+  [[maybe_unused]] const ssize_t written =
+      ::write(fd, buffer, static_cast<std::size_t>(n));
+}
+
+std::string format_seconds(std::chrono::steady_clock::duration d) {
+  const double seconds = std::chrono::duration<double>(d).count();
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+PipeProgress::PipeProgress(int fd,
+                           std::chrono::milliseconds heartbeat_interval)
+    : fd_(fd) {
+  heartbeat_ = std::thread([this, heartbeat_interval] {
+    heartbeat_loop(heartbeat_interval);
+  });
+}
+
+PipeProgress::~PipeProgress() {
+  if (!heartbeat_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  heartbeat_.join();
+}
+
+void PipeProgress::job_done(std::uint64_t sim_events) {
+  total_events_.fetch_add(sim_events, std::memory_order_relaxed);
+  write_record(fd_, 'E', sim_events);
+}
+
+void PipeProgress::heartbeat_loop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    write_record(fd_, 'H', total_events_.load(std::memory_order_relaxed));
+  }
 }
 
 namespace {
@@ -31,23 +76,38 @@ struct Child {
   std::string buffer;     ///< partial line carried between reads
   bool reaped = false;
   int status = 0;         ///< waitpid status once reaped
+  std::uint64_t events = 0;  ///< cumulative sim events the shard reported
+  std::chrono::steady_clock::time_point last_beat;  ///< last pipe activity
+  bool stalled = false;   ///< a stall was already reported for this silence
 };
 
-/// Feeds complete "E <events>" lines from `chunk` into the listener.
-void consume_progress(Child& child, const char* chunk, std::size_t len,
-                      ProgressListener* progress) {
+/// Feeds complete "E <events>" (job done) and "H <total>" (idle heartbeat)
+/// lines from `chunk` into the child's tally and the listener.
+void consume_progress(Child& child, std::uint32_t shard, const char* chunk,
+                      std::size_t len, ProgressListener* progress) {
   child.buffer.append(chunk, len);
   std::size_t start = 0;
   for (std::size_t nl = child.buffer.find('\n', start);
        nl != std::string::npos; nl = child.buffer.find('\n', start)) {
     const std::string line = child.buffer.substr(start, nl - start);
     start = nl + 1;
-    if (line.size() > 2 && line[0] == 'E' && line[1] == ' ') {
-      errno = 0;
-      char* end = nullptr;
-      const unsigned long long events = std::strtoull(line.c_str() + 2, &end, 10);
-      if (errno == 0 && end != line.c_str() + 2 && progress != nullptr) {
-        progress->job_done(static_cast<std::uint64_t>(events));
+    if (line.size() <= 2 || line[1] != ' ') continue;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(line.c_str() + 2, &end, 10);
+    if (errno != 0 || end == line.c_str() + 2) continue;
+    if (line[0] == 'E') {
+      child.events += static_cast<std::uint64_t>(value);
+      if (progress != nullptr) {
+        progress->job_done(static_cast<std::uint64_t>(value));
+        progress->shard_heartbeat(shard, child.events);
+      }
+    } else if (line[0] == 'H') {
+      // Cumulative count; an H racing ahead of buffered E lines only ever
+      // raises the tally.
+      child.events = std::max(child.events, static_cast<std::uint64_t>(value));
+      if (progress != nullptr) {
+        progress->shard_heartbeat(shard, child.events);
       }
     }
   }
@@ -69,7 +129,7 @@ std::string describe_exit(int status) {
 int run_shard_fleet(
     std::uint32_t shard_count, ProgressListener* progress,
     const std::function<int(const ShardSpec&, int progress_fd)>& child_main,
-    std::string* error) {
+    std::string* error, const FleetOptions& options) {
   if (shard_count == 0) {
     if (error) *error = "shard count must be >= 1";
     return 1;
@@ -121,6 +181,7 @@ int run_shard_fleet(
     }
     children[i].pid = pid;
     children[i].pipe_fd = fds[0];
+    children[i].last_beat = std::chrono::steady_clock::now();
     ::close(fds[1]);
   }
 
@@ -132,12 +193,26 @@ int run_shard_fleet(
   auto note_failure = [&](std::uint32_t shard, int status) {
     if (failed) return;
     failed = true;
+    const Child& child = children[shard];
     first_failure = "shard " + std::to_string(shard) + "/" +
-                    std::to_string(shard_count) + " " + describe_exit(status);
-    for (Child& child : children) {
-      if (!child.reaped && child.pid > 0) ::kill(child.pid, SIGTERM);
+                    std::to_string(shard_count) + " " + describe_exit(status) +
+                    " (events executed: " + std::to_string(child.events) +
+                    ", last heartbeat " +
+                    format_seconds(std::chrono::steady_clock::now() -
+                                   child.last_beat) +
+                    "s before exit)";
+    for (Child& other : children) {
+      if (!other.reaped && other.pid > 0) ::kill(other.pid, SIGTERM);
     }
   };
+
+  // With stall detection on, poll wakes often enough to notice silence a
+  // fraction of the threshold late at worst; otherwise block indefinitely.
+  int poll_timeout_ms = -1;
+  if (options.stall_after.count() > 0) {
+    poll_timeout_ms = static_cast<int>(std::clamp<std::int64_t>(
+        options.stall_after.count() / 4, 50, 1000));
+  }
 
   std::size_t open_pipes = children.size();
   std::vector<pollfd> poll_set;
@@ -148,11 +223,29 @@ int run_shard_fleet(
         poll_set.push_back(pollfd{child.pipe_fd, POLLIN, 0});
       }
     }
-    if (::poll(poll_set.data(), poll_set.size(), -1) < 0) {
+    const int ready =
+        ::poll(poll_set.data(), poll_set.size(), poll_timeout_ms);
+    if (ready < 0) {
       if (errno == EINTR) continue;
       if (error) *error = std::string("poll: ") + std::strerror(errno);
       failed = true;
       break;
+    }
+    if (options.stall_after.count() > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (std::uint32_t i = 0; i < children.size(); ++i) {
+        Child& child = children[i];
+        if (child.pipe_fd < 0 || child.stalled) continue;
+        if (now - child.last_beat < options.stall_after) continue;
+        child.stalled = true;
+        if (options.stall_log != nullptr) {
+          *options.stall_log
+              << "[supervisor] shard " << i << "/" << shard_count
+              << " stalled: no heartbeat for "
+              << format_seconds(now - child.last_beat)
+              << "s (events executed: " << child.events << ")\n";
+        }
+      }
     }
     for (const pollfd& entry : poll_set) {
       if ((entry.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
@@ -168,7 +261,10 @@ int run_shard_fleet(
       char chunk[4096];
       const ssize_t n = ::read(entry.fd, chunk, sizeof chunk);
       if (n > 0) {
-        consume_progress(*child, chunk, static_cast<std::size_t>(n), progress);
+        child->last_beat = std::chrono::steady_clock::now();
+        child->stalled = false;
+        consume_progress(*child, shard, chunk, static_cast<std::size_t>(n),
+                         progress);
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;

@@ -1,8 +1,14 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "campaign/progress.h"
 #include "campaign/shard.h"
@@ -13,13 +19,39 @@ namespace tempriv::campaign {
 /// record is a single short write() (far below PIPE_BUF), which POSIX
 /// guarantees is atomic, so concurrent workers need no lock and a parent
 /// reading the pipe never sees torn lines.
+///
+/// With a heartbeat interval the listener also runs a background thread
+/// that writes "H <cumulative_events>\n" every interval, so a supervisor
+/// can tell a shard grinding through one long job from a hung one.
 class PipeProgress : public ProgressListener {
  public:
   explicit PipeProgress(int fd) : fd_(fd) {}
+  PipeProgress(int fd, std::chrono::milliseconds heartbeat_interval);
+  ~PipeProgress() override;
+
   void job_done(std::uint64_t sim_events) override;
 
  private:
+  void heartbeat_loop(std::chrono::milliseconds interval);
+
   int fd_;
+  std::atomic<std::uint64_t> total_events_{0};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread heartbeat_;
+};
+
+/// Supervisor knobs for run_shard_fleet(). Stall detection needs children
+/// that actually heartbeat (the interval-taking PipeProgress constructor);
+/// with silent children every long job would read as a stall.
+struct FleetOptions {
+  /// A shard whose pipe stays silent this long is reported as stalled
+  /// (once, to `stall_log`); zero disables the check.
+  std::chrono::milliseconds stall_after{0};
+  /// Where stall reports go; nullptr silences them (detection still runs
+  /// so the shard's `stalled` flag reflects reality in failure messages).
+  std::ostream* stall_log = nullptr;
 };
 
 /// Runs `child_main(shard, progress_fd)` in one forked process per shard
@@ -42,6 +74,6 @@ class PipeProgress : public ProgressListener {
 int run_shard_fleet(
     std::uint32_t shard_count, ProgressListener* progress,
     const std::function<int(const ShardSpec&, int progress_fd)>& child_main,
-    std::string* error);
+    std::string* error, const FleetOptions& options = {});
 
 }  // namespace tempriv::campaign

@@ -1,0 +1,89 @@
+#include "campaign/telemetry_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/jsonio.h"
+
+namespace tempriv::campaign {
+
+std::string shard_telemetry_path(const std::string& jsonl_path) {
+  const std::string suffix = ".jsonl";
+  if (jsonl_path.size() > suffix.size() &&
+      jsonl_path.compare(jsonl_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return jsonl_path.substr(0, jsonl_path.size() - suffix.size()) +
+           ".telemetry.json";
+  }
+  return jsonl_path + ".telemetry.json";
+}
+
+telemetry::Snapshot parse_telemetry_json(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  const JsonValue& root = doc.at("telemetry");
+  const std::uint32_t schema = root.at("schema").as_u32();
+  if (schema != 1) {
+    throw std::runtime_error("unsupported telemetry schema " +
+                             std::to_string(schema));
+  }
+  telemetry::Snapshot snapshot;
+  snapshot.enabled = root.at("enabled").as_bool();
+  for (const auto& [key, value] : root.at("counters").members) {
+    snapshot.counters[key] = value.as_u64();
+  }
+  for (const auto& [key, value] : root.at("gauges").members) {
+    snapshot.gauges[key] = value.as_u64();
+  }
+  for (const auto& [key, value] : root.at("histograms").members) {
+    if (!value.is_array() ||
+        value.items.size() != telemetry::kHistBuckets) {
+      throw std::runtime_error("histogram \"" + key + "\" must be an array "
+                               "of " + std::to_string(telemetry::kHistBuckets) +
+                               " buckets");
+    }
+    telemetry::HistogramCounts& hist = snapshot.histograms[key];
+    for (std::size_t b = 0; b < telemetry::kHistBuckets; ++b) {
+      hist.buckets[b] = value.items[b].as_u64();
+    }
+  }
+  for (const auto& [key, value] : root.at("spans").members) {
+    telemetry::SpanStat& span = snapshot.spans[key];
+    span.count = value.at("count").as_u64();
+    span.nanos = value.at("nanos").as_u64();
+  }
+  return snapshot;
+}
+
+telemetry::Snapshot load_telemetry_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot open telemetry snapshot " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  try {
+    return parse_telemetry_json(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+void write_telemetry_file(const std::string& path,
+                          const telemetry::Snapshot& snapshot) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("cannot write telemetry snapshot " + path);
+  }
+  telemetry::write_snapshot_json(os, snapshot);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("write failed for telemetry snapshot " + path);
+  }
+}
+
+}  // namespace tempriv::campaign

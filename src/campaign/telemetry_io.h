@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/snapshot.h"
+
+namespace tempriv::campaign {
+
+/// Sibling path for a shard's telemetry snapshot, derived from its JSONL
+/// artifact path the same way shard_stats_path() derives the stats sibling:
+/// "out.shard0.jsonl" -> "out.shard0.telemetry.json".
+std::string shard_telemetry_path(const std::string& jsonl_path);
+
+/// Parses a snapshot file written by telemetry::write_snapshot_json().
+/// Unknown keys merge by union downstream; a missing or malformed document
+/// throws std::runtime_error.
+telemetry::Snapshot parse_telemetry_json(std::string_view text);
+
+/// Reads and parses `path`; throws std::runtime_error (naming the path) if
+/// the file cannot be opened or does not parse.
+telemetry::Snapshot load_telemetry_file(const std::string& path);
+
+/// Writes `snapshot` to `path` (creating parent directories), throwing on
+/// I/O failure.
+void write_telemetry_file(const std::string& path,
+                          const telemetry::Snapshot& snapshot);
+
+}  // namespace tempriv::campaign

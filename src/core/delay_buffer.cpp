@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/probes.h"
+
 namespace tempriv::core {
 
 DelayBuffer::DelayBuffer(std::shared_ptr<const DelayDistribution> delay,
@@ -146,6 +148,8 @@ void DelayBuffer::admit_with_delay(net::Packet&& packet, net::NodeContext& ctx,
   link_back(slot);
   if (uses_heap()) heap_push(slot);
   ++live_count_;
+  TEMPRIV_TLM_HIST(kBufOccupancy, live_count_);
+  TEMPRIV_TLM_GAUGE_MAX(kBufPeakOccupancy, live_count_);
 }
 
 std::uint32_t DelayBuffer::victim_slot(sim::RandomStream& rng) const {
@@ -184,6 +188,8 @@ net::Packet DelayBuffer::preempt(net::NodeContext& ctx) {
   if (live_count_ == 0) {
     throw std::logic_error("DelayBuffer::preempt: empty buffer");
   }
+  TEMPRIV_TLM_COUNT_AT(telemetry::preempt_counter(
+      static_cast<std::uint32_t>(policy_)));
   return extract(victim_slot(ctx.rng()), ctx);
 }
 
@@ -191,6 +197,7 @@ net::Packet DelayBuffer::eject(std::size_t index, net::NodeContext& ctx) {
   if (index >= live_count_) {
     throw std::out_of_range("DelayBuffer::eject: bad index");
   }
+  TEMPRIV_TLM_COUNT(kBufEjected);
   std::uint32_t slot = head_;
   while (index-- > 0) slot = slots_[slot].next;
   return extract(slot, ctx);

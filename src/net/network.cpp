@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/disciplines.h"
+#include "telemetry/probes.h"
 
 namespace tempriv::net {
 
@@ -177,22 +178,27 @@ void Network::adopt_spec(const core::DisciplineSpec& spec) {
 void Network::handle(NodeId node, Packet&& packet) {
   switch (role_[node]) {
     case NodeRole::kImmediate:
+      TEMPRIV_TLM_COUNT(kNetForwardImmediate);
       transmit_from(node, std::move(packet));
       break;
     case NodeRole::kUnlimited:
+      TEMPRIV_TLM_COUNT(kNetForwardUnlimited);
       buffers_[disc_slot_[node]].admit(std::move(packet), ctx_[node]);
       break;
     case NodeRole::kDropTail: {
+      TEMPRIV_TLM_COUNT(kNetForwardDropTail);
       const std::uint32_t slot = disc_slot_[node];
       core::DelayBuffer& buffer = buffers_[slot];
       if (buffer.size() >= capacity_[slot]) {
         ++drops_[slot];  // packet destroyed; the Erlang-loss event of Eq. (5)
+        TEMPRIV_TLM_COUNT(kNetDropTailDropped);
       } else {
         buffer.admit(std::move(packet), ctx_[node]);
       }
       break;
     }
     case NodeRole::kRcad: {
+      TEMPRIV_TLM_COUNT(kNetForwardRcad);
       const std::uint32_t slot = disc_slot_[node];
       core::DelayBuffer& buffer = buffers_[slot];
       if (buffer.size() >= capacity_[slot]) {
@@ -204,6 +210,7 @@ void Network::handle(NodeId node, Packet&& packet) {
       break;
     }
     case NodeRole::kCustom:
+      TEMPRIV_TLM_COUNT(kNetForwardCustom);
       custom_[disc_slot_[node]]->on_packet(std::move(packet), ctx_[node]);
       break;
     case NodeRole::kSink:
@@ -279,6 +286,7 @@ std::uint64_t Network::originate_batch(
   crypto::SealedPayload sealed[kGroup];
   for (std::size_t i = 0; i < payloads.size(); i += kGroup) {
     const std::size_t n = std::min(kGroup, payloads.size() - i);
+    TEMPRIV_TLM_HIST(kNetBatchLaneFill, n);
     codec.seal_batch(payloads.subspan(i, n), origin, {sealed, n});
     for (std::size_t j = 0; j < n; ++j) {
       Packet packet;

@@ -136,10 +136,12 @@ void EventQueue::drop_leading_tombstones() noexcept {
   while (heap_tomb_ != 0 && !heap_.empty() && !entry_live(heap_.front())) {
     heap_pop_front();
     --heap_tomb_;
+    TEMPRIV_TLM_COUNT(kEqTombstoneSkipped);
   }
   while (fifo_tomb_ != 0 && fifo_size_ != 0 && !entry_live(fifo_front())) {
     fifo_pop_front();
     --fifo_tomb_;
+    TEMPRIV_TLM_COUNT(kEqTombstoneSkipped);
   }
 }
 
@@ -215,10 +217,13 @@ Time EventQueue::pop_batch(std::vector<EventId>& out) {
       out.push_back(EventId(top.aux));
     } else if (from_fifo) {
       --fifo_tomb_;
+      TEMPRIV_TLM_COUNT(kEqTombstoneSkipped);
     } else {
       --heap_tomb_;
+      TEMPRIV_TLM_COUNT(kEqTombstoneSkipped);
     }
   }
+  if (!out.empty()) TEMPRIV_TLM_COUNT(kEqPopBatch);
   // The drain may expose a buried tombstone (an earlier mid-lane cancel) at
   // a new head; sweep so next_time() stays truthful, as pop() does.
   drop_leading_tombstones();

@@ -10,6 +10,7 @@
 
 #include "sim/inline_callback.h"
 #include "sim/time.h"
+#include "telemetry/probes.h"
 
 namespace tempriv::sim {
 
@@ -82,6 +83,8 @@ class EventQueue {
     s.lane = 0;
     heap_push(HeapEntry{time_to_key(at), aux});
     ++live_count_;
+    TEMPRIV_TLM_COUNT(kEqScheduleHeap);
+    TEMPRIV_TLM_GAUGE_MAX(kEqPeakDepth, live_count_);
     return EventId(aux);
   }
 
@@ -100,6 +103,7 @@ class EventQueue {
   EventId schedule_monotone(Time at, F&& action) {
     const std::uint64_t key = time_to_key(at);
     if (fifo_size_ != 0 && key < fifo_tail_key_) {
+      TEMPRIV_TLM_COUNT(kEqFifoDiverted);
       return schedule(at, std::forward<F>(action));
     }
     const std::uint32_t slot = acquire_slot();
@@ -111,6 +115,8 @@ class EventQueue {
     fifo_push(HeapEntry{key, aux});
     fifo_tail_key_ = key;
     ++live_count_;
+    TEMPRIV_TLM_COUNT(kEqScheduleFifo);
+    TEMPRIV_TLM_GAUGE_MAX(kEqPeakDepth, live_count_);
     return EventId(aux);
   }
 
@@ -204,6 +210,7 @@ class EventQueue {
     Slot& s = slot_at(slot);
     s.aux = 0;  // the handle dies before the callback runs, as with pop()
     --live_count_;
+    TEMPRIV_TLM_COUNT(kEqDispatchSingle);
     FinishDispatch finisher{*this, slot};
     dispatch(key_to_time(top.key), EventId(top.aux), s.action);
     return true;

@@ -1,0 +1,112 @@
+#pragma once
+
+// Probe macros for the hot subsystems. With the default build
+// (TEMPRIV_TELEMETRY=OFF) every macro expands to ((void)0) — no code, no
+// includes beyond metrics.h, no argument evaluation — so instrumented hot
+// paths are bit-for-bit the uninstrumented ones (the alloc-guard and
+// bench-gate suites hold the contract). With -DTEMPRIV_TELEMETRY=ON each
+// probe is a couple of plain (unsynchronized) integer operations on a
+// per-thread metric block; blocks are registered once per thread and
+// summed by telemetry::collect() after workers quiesce, so the hot path
+// carries no atomics and no locks.
+//
+// Telemetry is measurement-only by contract: probes never touch RNG state,
+// event ordering, or result bytes — golden CSVs and shard artifacts are
+// byte-identical in ON and OFF builds (tested in CI).
+
+#include "telemetry/metrics.h"
+
+#if defined(TEMPRIV_TELEMETRY_ENABLED)
+
+#include <cstdint>
+
+namespace tempriv::telemetry {
+
+/// One thread's accumulation arrays. Allocated on a thread's first probe,
+/// registered globally, and deliberately never freed: a pool worker's
+/// counts must survive its exit so end-of-run collection sees them.
+struct MetricBlock {
+  std::uint64_t counters[kCounterCount] = {};
+  std::uint64_t gauges[kGaugeCount] = {};
+  std::uint64_t hists[kHistCount][kHistBuckets] = {};
+};
+
+MetricBlock* register_thread_block();
+
+inline MetricBlock& block() noexcept {
+  thread_local MetricBlock* tl_block = register_thread_block();
+  return *tl_block;
+}
+
+inline void probe_count(Counter counter, std::uint64_t n = 1) noexcept {
+  block().counters[static_cast<std::size_t>(counter)] += n;
+}
+
+inline void probe_gauge_max(Gauge gauge, std::uint64_t value) noexcept {
+  std::uint64_t& current = block().gauges[static_cast<std::size_t>(gauge)];
+  if (value > current) current = value;
+}
+
+inline void probe_hist(Hist hist, std::uint64_t value) noexcept {
+  ++block().hists[static_cast<std::size_t>(hist)][hist_bucket(value)];
+}
+
+std::uint64_t monotonic_nanos() noexcept;
+
+/// RAII wall-time span. Nested spans record under slash-joined paths
+/// ("job/simulate"); the per-thread path stack assumes strictly LIFO
+/// begin/end, which scoped usage guarantees. Recording takes a global
+/// mutex — spans mark phases (build/simulate/score/merge), not packets.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name);
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan() { end(); }
+
+  /// Records the span now instead of at scope exit; idempotent.
+  void end() noexcept;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+  std::size_t prev_path_size_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace tempriv::telemetry
+
+#define TEMPRIV_TLM_CAT2(a, b) a##b
+#define TEMPRIV_TLM_CAT(a, b) TEMPRIV_TLM_CAT2(a, b)
+
+#define TEMPRIV_TLM_COUNT(counter) \
+  (tempriv::telemetry::probe_count(tempriv::telemetry::Counter::counter))
+#define TEMPRIV_TLM_COUNT_N(counter, n) \
+  (tempriv::telemetry::probe_count(tempriv::telemetry::Counter::counter, (n)))
+/// Like TEMPRIV_TLM_COUNT but for a runtime-computed telemetry::Counter
+/// (e.g. telemetry::preempt_counter(policy)).
+#define TEMPRIV_TLM_COUNT_AT(counter_expr) \
+  (tempriv::telemetry::probe_count((counter_expr)))
+#define TEMPRIV_TLM_GAUGE_MAX(gauge, value) \
+  (tempriv::telemetry::probe_gauge_max(tempriv::telemetry::Gauge::gauge, (value)))
+#define TEMPRIV_TLM_HIST(hist, value) \
+  (tempriv::telemetry::probe_hist(tempriv::telemetry::Hist::hist, (value)))
+/// Whole-scope span.
+#define TEMPRIV_TLM_SPAN(name) \
+  tempriv::telemetry::PhaseSpan TEMPRIV_TLM_CAT(tempriv_tlm_span_, __LINE__){name}
+/// Explicit begin/end pair for phases that do not own a scope; ends must
+/// nest LIFO with respect to other spans on the same thread.
+#define TEMPRIV_TLM_SPAN_BEGIN(var, name) tempriv::telemetry::PhaseSpan var{name}
+#define TEMPRIV_TLM_SPAN_END(var) ((var).end())
+
+#else  // telemetry compiled out: every probe vanishes, arguments unevaluated
+
+#define TEMPRIV_TLM_COUNT(counter) ((void)0)
+#define TEMPRIV_TLM_COUNT_N(counter, n) ((void)0)
+#define TEMPRIV_TLM_COUNT_AT(counter_expr) ((void)0)
+#define TEMPRIV_TLM_GAUGE_MAX(gauge, value) ((void)0)
+#define TEMPRIV_TLM_HIST(hist, value) ((void)0)
+#define TEMPRIV_TLM_SPAN(name) ((void)0)
+#define TEMPRIV_TLM_SPAN_BEGIN(var, name) ((void)0)
+#define TEMPRIV_TLM_SPAN_END(var) ((void)0)
+
+#endif

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace tempriv::telemetry {
+
+/// Bucket counts of one fixed-geometry histogram (see hist_bucket()).
+struct HistogramCounts {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t b : buckets) sum += b;
+    return sum;
+  }
+
+  friend bool operator==(const HistogramCounts&,
+                         const HistogramCounts&) = default;
+};
+
+/// Accumulated wall time of one phase-span path ("job/simulate", "merge").
+/// Durations are integer nanoseconds, not doubles, so merging shard
+/// snapshots is exactly associative (tested).
+struct SpanStat {
+  std::uint64_t count = 0;
+  std::uint64_t nanos = 0;
+
+  friend bool operator==(const SpanStat&, const SpanStat&) = default;
+};
+
+/// A run's (or shard's) metrics at one collection point. String-keyed maps,
+/// not enum arrays: a snapshot parsed from a newer or older build's file
+/// merges by key union, and std::map keeps JSON output deterministically
+/// sorted. Merge semantics — the shard-combination contract — are: sum
+/// counters, max gauges, element-wise-sum histograms, sum spans.
+struct Snapshot {
+  bool enabled = false;  ///< producing build had TEMPRIV_TELEMETRY=ON
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::map<std::string, HistogramCounts> histograms;
+  std::map<std::string, SpanStat> spans;
+
+  /// Folds `other` into this snapshot. Commutative and associative in
+  /// every field, so any shard merge order produces the same bytes.
+  void merge(const Snapshot& other);
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Sums every registered per-thread metric block plus the global span table
+/// into a Snapshot carrying all known metrics (zeros included, so the file
+/// schema is identical whatever the run did). Callers must quiesce worker
+/// threads first — collection is meant for end-of-run, not mid-flight.
+/// In an OFF build the counters exist but are all zero and enabled=false.
+Snapshot collect();
+
+/// Zeroes every registered block and clears the span table. For tests (one
+/// process runs many scenarios); not safe concurrently with active probes.
+void reset();
+
+/// Deterministic JSON: fixed field order, sorted keys, integers only.
+void write_snapshot_json(std::ostream& os, const Snapshot& snapshot);
+std::string snapshot_to_json(const Snapshot& snapshot);
+
+}  // namespace tempriv::telemetry

@@ -14,6 +14,7 @@
 #include "net/topology.h"
 #include "net/tracer.h"
 #include "sim/simulator.h"
+#include "telemetry/probes.h"
 #include "workload/burst_source.h"
 #include "workload/source.h"
 
@@ -118,6 +119,8 @@ ScenarioResult run_paper_scenario(const PaperScenario& scenario) {
     throw std::invalid_argument("run_paper_scenario: no flows configured");
   }
 
+  TEMPRIV_TLM_SPAN_BEGIN(build_span, "build");
+
   sim::Simulator simulator;
   sim::RandomStream root(scenario.seed);
 
@@ -202,7 +205,18 @@ ScenarioResult run_paper_scenario(const PaperScenario& scenario) {
     sources.back()->start(phase_rng.uniform(0.0, scenario.interarrival));
   }
 
-  simulator.run();
+  TEMPRIV_TLM_SPAN_END(build_span);
+
+  {
+    TEMPRIV_TLM_SPAN("simulate");
+    simulator.run();
+  }
+
+  TEMPRIV_TLM_GAUGE_MAX(kMemNetworkBytes, network.memory_bytes());
+  TEMPRIV_TLM_GAUGE_MAX(kMemTopologyBytes, network.topology().memory_bytes());
+  TEMPRIV_TLM_GAUGE_MAX(kMemRoutingBytes, network.routing().memory_bytes());
+
+  TEMPRIV_TLM_SPAN_BEGIN(score_span, "score");
 
   ScenarioResult result;
   result.events_executed = simulator.events_executed();

@@ -1,0 +1,98 @@
+#include "campaign/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+namespace tempriv::campaign {
+namespace {
+
+using std::chrono::milliseconds;
+
+// Pass sim_events = 0 so the events/s clause stays away (rate 0 is not
+// printed) and line shapes are deterministic.
+
+TEST(ProgressReporterTest, PrintsCountAndEta) {
+  std::ostringstream os;
+  ProgressReporter progress(os, 3, milliseconds(0));
+  progress.job_done(0);
+  const std::string line = os.str();
+  EXPECT_EQ(line.rfind("[campaign] 1/3 jobs", 0), 0u) << line;
+  EXPECT_NE(line.find("ETA "), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n') << line;
+}
+
+TEST(ProgressReporterTest, FinalJobOmitsEta) {
+  std::ostringstream os;
+  ProgressReporter progress(os, 1, milliseconds(0));
+  progress.job_done(0);
+  const std::string line = os.str();
+  EXPECT_EQ(line.rfind("[campaign] 1/1 jobs", 0), 0u) << line;
+  EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+}
+
+TEST(ProgressReporterTest, ThrottleSuppressesMidRunLines) {
+  std::ostringstream os;
+  // The first job always prints (the throttle window starts expired); a
+  // huge min_interval then suppresses later mid-run jobs.
+  ProgressReporter progress(os, 3, milliseconds(1000000));
+  progress.job_done(0);
+  const std::string first = os.str();
+  EXPECT_EQ(first.rfind("[campaign] 1/3 jobs", 0), 0u) << first;
+  progress.job_done(0);
+  EXPECT_EQ(os.str(), first);  // throttled: nothing new
+}
+
+TEST(ProgressReporterTest, FinishPrintsClosingSummary) {
+  std::ostringstream os;
+  ProgressReporter progress(os, 2, milliseconds(0));
+  progress.job_done(0);
+  os.str("");
+  progress.finish();
+  const std::string line = os.str();
+  EXPECT_EQ(line.rfind("[campaign] 1/2 jobs", 0), 0u) << line;
+  EXPECT_NE(line.find("done in "), std::string::npos) << line;
+  EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+}
+
+TEST(ProgressReporterTest, RateClauseAppearsWithEvents) {
+  std::ostringstream os;
+  ProgressReporter progress(os, 2, milliseconds(0));
+  progress.job_done(1000000);
+  EXPECT_NE(os.str().find("M events/s"), std::string::npos) << os.str();
+}
+
+TEST(ProgressReporterTest, CountsDoneJobs) {
+  std::ostringstream os;
+  ProgressReporter progress(os, 5, milliseconds(1000000));
+  EXPECT_EQ(progress.done(), 0u);
+  progress.job_done(10);
+  progress.job_done(20);
+  EXPECT_EQ(progress.done(), 2u);
+}
+
+TEST(ProgressReporterTest, TracksLastHeartbeatPerShard) {
+  std::ostringstream os;
+  ProgressReporter progress(os, 4, milliseconds(1000000));
+  EXPECT_FALSE(progress.last_heartbeat(0).has_value());
+
+  progress.shard_heartbeat(0, 100);
+  progress.shard_heartbeat(1, 250);
+  ASSERT_TRUE(progress.last_heartbeat(0).has_value());
+  EXPECT_EQ(progress.last_heartbeat(0)->events, 100u);
+  EXPECT_EQ(progress.last_heartbeat(1)->events, 250u);
+  EXPECT_FALSE(progress.last_heartbeat(2).has_value());
+
+  // Cumulative counts only move forward, even if records race out of order.
+  const auto before = progress.last_heartbeat(0)->at;
+  progress.shard_heartbeat(0, 50);
+  EXPECT_EQ(progress.last_heartbeat(0)->events, 100u);
+  EXPECT_GE(progress.last_heartbeat(0)->at, before);
+  progress.shard_heartbeat(0, 300);
+  EXPECT_EQ(progress.last_heartbeat(0)->events, 300u);
+}
+
+}  // namespace
+}  // namespace tempriv::campaign

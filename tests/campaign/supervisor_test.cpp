@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 namespace tempriv::campaign {
 namespace {
@@ -19,12 +25,21 @@ class CountingListener : public ProgressListener {
     ++jobs_;
     events_ += sim_events;
   }
+  void shard_heartbeat(std::uint32_t shard, std::uint64_t events) override {
+    std::uint64_t& seen = shard_events_[shard];
+    if (events > seen) seen = events;
+  }
   std::uint64_t jobs() const { return jobs_; }
   std::uint64_t events() const { return events_; }
+  std::uint64_t shard_events(std::uint32_t shard) const {
+    const auto it = shard_events_.find(shard);
+    return it == shard_events_.end() ? 0 : it->second;
+  }
 
  private:
   std::uint64_t jobs_ = 0;
   std::uint64_t events_ = 0;
+  std::map<std::uint32_t, std::uint64_t> shard_events_;
 };
 
 TEST(SupervisorTest, AggregatesProgressAcrossAllShards) {
@@ -78,6 +93,99 @@ TEST(SupervisorTest, SignaledChildIsDescribed) {
       &error);
   EXPECT_NE(rc, 0);
   EXPECT_NE(error.find("signal"), std::string::npos) << error;
+}
+
+TEST(SupervisorTest, JobRecordsDriveShardHeartbeats) {
+  CountingListener listener;
+  std::string error;
+  const int rc = run_shard_fleet(
+      2, &listener,
+      [](const ShardSpec& shard, int progress_fd) {
+        PipeProgress progress(progress_fd);
+        for (int j = 0; j < 3; ++j) progress.job_done(10 * (shard.index + 1));
+        return 0;
+      },
+      &error);
+  EXPECT_EQ(rc, 0) << error;
+  // The cumulative per-shard tallies arrive via shard_heartbeat alongside
+  // the aggregate job_done stream.
+  EXPECT_EQ(listener.shard_events(0), 30u);
+  EXPECT_EQ(listener.shard_events(1), 60u);
+}
+
+TEST(SupervisorTest, IdleHeartbeatsReachTheListener) {
+  CountingListener listener;
+  std::string error;
+  const int rc = run_shard_fleet(
+      1, &listener,
+      [](const ShardSpec&, int progress_fd) {
+        // A heartbeat-enabled listener with a short interval: report one
+        // job, then idle long enough for at least one "H" line to flow.
+        PipeProgress progress(progress_fd, std::chrono::milliseconds(20));
+        progress.job_done(42);
+        std::this_thread::sleep_for(std::chrono::milliseconds(120));
+        return 0;
+      },
+      &error);
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_EQ(listener.jobs(), 1u);
+  EXPECT_EQ(listener.shard_events(0), 42u);
+}
+
+TEST(SupervisorTest, SilentShardIsReportedAsStalled) {
+  std::ostringstream log;
+  FleetOptions options;
+  options.stall_after = std::chrono::milliseconds(200);
+  options.stall_log = &log;
+  std::string error;
+  const int rc = run_shard_fleet(
+      1, nullptr,
+      [](const ShardSpec&, int) {
+        // No PipeProgress at all: total silence, well past the threshold.
+        std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        return 0;
+      },
+      &error, options);
+  EXPECT_EQ(rc, 0) << error;  // stalls warn, they do not fail the fleet
+  const std::string text = log.str();
+  EXPECT_NE(text.find("shard 0/1 stalled"), std::string::npos) << text;
+  EXPECT_NE(text.find("no heartbeat for"), std::string::npos) << text;
+  EXPECT_NE(text.find("events executed: 0"), std::string::npos) << text;
+}
+
+TEST(SupervisorTest, HeartbeatingShardIsNotReportedAsStalled) {
+  std::ostringstream log;
+  FleetOptions options;
+  options.stall_after = std::chrono::milliseconds(300);
+  options.stall_log = &log;
+  std::string error;
+  const int rc = run_shard_fleet(
+      1, nullptr,
+      [](const ShardSpec&, int progress_fd) {
+        PipeProgress progress(progress_fd, std::chrono::milliseconds(50));
+        std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        return 0;
+      },
+      &error, options);
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_EQ(log.str(), "") << log.str();
+}
+
+TEST(SupervisorTest, FailureMessageCarriesLastHeartbeatContext) {
+  std::string error;
+  const int rc = run_shard_fleet(
+      1, nullptr,
+      [](const ShardSpec&, int progress_fd) {
+        PipeProgress progress(progress_fd);
+        progress.job_done(42);
+        return 3;
+      },
+      &error);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(error.find("shard 0/1"), std::string::npos) << error;
+  EXPECT_NE(error.find("status 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("events executed: 42"), std::string::npos) << error;
+  EXPECT_NE(error.find("last heartbeat"), std::string::npos) << error;
 }
 
 TEST(SupervisorTest, ZeroShardsIsRejected) {

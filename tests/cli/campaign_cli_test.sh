@@ -6,7 +6,11 @@
 #      JSONL / stats / CSV byte for byte;
 #   3. tempriv-merge --check passes a clean shard set and reports a
 #      corrupted one (tampered header, missing shard) with exit 1;
-#   4. --shard auto:2 (fork supervisor + auto-merge) matches serial too.
+#   4. --shard auto:2 (fork supervisor + auto-merge) matches serial too;
+#   5. --telemetry writes a snapshot in every mode without perturbing any
+#      result byte (works in OFF builds too: all-zero snapshot), and
+#      tempriv-merge --telemetry combines shard snapshots / fails when a
+#      sibling is missing.
 #
 # Usage: campaign_cli_test.sh <tempriv-campaign> <tempriv-merge>
 
@@ -119,6 +123,62 @@ expect_exit 0 "auto:2 supervised run" \
   "$CAMPAIGN" "${GRID_ARGS[@]}" --out "$WORK/auto" --shard auto:2
 for f in campaign_grid.jsonl campaign_grid.stats.json campaign_grid.csv; do
   expect_same "auto:2 vs serial ($f)" "$WORK/serial/$f" "$WORK/auto/$f"
+done
+
+# --- 5. --telemetry snapshots: present, well-formed, result-neutral ------
+
+# Serial run with telemetry: snapshot written, results byte-identical to
+# the telemetry-free serial run of section 2.
+expect_exit 0 "serial run with --telemetry" \
+  "$CAMPAIGN" "${GRID_ARGS[@]}" --out "$WORK/tserial" \
+  --telemetry "$WORK/tserial/grid.telemetry.json"
+for f in campaign_grid.jsonl campaign_grid.stats.json campaign_grid.csv; do
+  expect_same "--telemetry vs plain serial ($f)" \
+    "$WORK/serial/$f" "$WORK/tserial/$f"
+done
+grep -q '"eq.schedule_heap"' "$WORK/tserial/grid.telemetry.json" ||
+  note_failure "serial telemetry snapshot lacks the event-queue counters"
+grep -q '"spans"' "$WORK/tserial/grid.telemetry.json" ||
+  note_failure "serial telemetry snapshot lacks the spans section"
+
+# Two explicit shards writing .telemetry.json siblings, then a merge that
+# combines them. The sibling paths follow the shard JSONL naming so
+# tempriv-merge finds them by convention.
+for i in 0 1; do
+  expect_exit 0 "shard $i/2 run with --telemetry" \
+    "$CAMPAIGN" "${GRID_ARGS[@]}" --out "$WORK/tshards" --shard "$i/2" \
+    --telemetry "$WORK/tshards/campaign_grid.shard-$i-of-2.telemetry.json"
+done
+expect_exit 0 "merge with --telemetry" \
+  "$MERGE" --out "$WORK/tmerged" \
+  --telemetry "$WORK/tmerged/grid.telemetry.json" \
+  "$WORK"/tshards/campaign_grid.shard-*-of-2.jsonl
+for f in campaign_grid.jsonl campaign_grid.stats.json campaign_grid.csv; do
+  expect_same "telemetry merge vs serial ($f)" \
+    "$WORK/serial/$f" "$WORK/tmerged/$f"
+done
+grep -q '"telemetry"' "$WORK/tmerged/grid.telemetry.json" ||
+  note_failure "merged telemetry snapshot missing or malformed"
+
+# A shard set without telemetry siblings cannot honor --telemetry.
+expect_exit 1 "merge --telemetry without siblings" \
+  "$MERGE" --out "$WORK/tfail" --telemetry "$WORK/tfail/grid.telemetry.json" \
+  "${SHARDS[@]}"
+
+# auto:2 fork supervisor: merged snapshot at PATH, per-shard siblings next
+# to the shard JSONLs, results still byte-identical to serial.
+expect_exit 0 "auto:2 run with --telemetry" \
+  "$CAMPAIGN" "${GRID_ARGS[@]}" --out "$WORK/tauto" --shard auto:2 \
+  --telemetry "$WORK/tauto/grid.telemetry.json"
+for f in campaign_grid.jsonl campaign_grid.stats.json campaign_grid.csv; do
+  expect_same "auto:2 --telemetry vs serial ($f)" \
+    "$WORK/serial/$f" "$WORK/tauto/$f"
+done
+grep -q '"eq.schedule_heap"' "$WORK/tauto/grid.telemetry.json" ||
+  note_failure "auto:2 merged telemetry snapshot lacks event-queue counters"
+for i in 0 1; do
+  [ -f "$WORK/tauto/campaign_grid.shard-$i-of-2.telemetry.json" ] ||
+    note_failure "auto:2 shard $i telemetry sibling missing"
 done
 
 if [ "$FAILURES" -ne 0 ]; then

@@ -1,0 +1,180 @@
+#include "telemetry/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/telemetry_io.h"
+#include "core/delay_buffer.h"
+#include "telemetry/metrics.h"
+
+namespace tempriv::telemetry {
+namespace {
+
+TEST(HistBucketTest, PowerOfTwoGeometry) {
+  EXPECT_EQ(hist_bucket(0), 0u);
+  EXPECT_EQ(hist_bucket(1), 1u);
+  EXPECT_EQ(hist_bucket(2), 2u);
+  EXPECT_EQ(hist_bucket(3), 2u);
+  EXPECT_EQ(hist_bucket(4), 3u);
+  EXPECT_EQ(hist_bucket(7), 3u);
+  EXPECT_EQ(hist_bucket(8), 4u);
+  EXPECT_EQ(hist_bucket((1ull << 29)), 30u);
+  // Everything at least 2^30 lands in the last bucket.
+  EXPECT_EQ(hist_bucket(1ull << 30), kHistBuckets - 1);
+  EXPECT_EQ(hist_bucket(~0ull), kHistBuckets - 1);
+}
+
+// The DelayBuffer probe maps core::VictimPolicy to its counter by index;
+// pin the correspondence so an enum reorder on either side fails here, not
+// silently in the snapshot.
+TEST(MetricsTest, PreemptCounterMatchesVictimPolicyOrder) {
+  using core::VictimPolicy;
+  EXPECT_EQ(
+      preempt_counter(static_cast<std::uint32_t>(VictimPolicy::kShortestRemaining)),
+      Counter::kBufPreemptShortest);
+  EXPECT_EQ(
+      preempt_counter(static_cast<std::uint32_t>(VictimPolicy::kLongestRemaining)),
+      Counter::kBufPreemptLongest);
+  EXPECT_EQ(preempt_counter(static_cast<std::uint32_t>(VictimPolicy::kRandom)),
+            Counter::kBufPreemptRandom);
+  EXPECT_EQ(preempt_counter(static_cast<std::uint32_t>(VictimPolicy::kOldest)),
+            Counter::kBufPreemptOldest);
+}
+
+TEST(MetricsTest, EveryMetricHasADistinctName) {
+  std::set<std::string> names;
+  for (std::uint32_t c = 0; c < kCounterCount; ++c) {
+    names.insert(name(static_cast<Counter>(c)));
+  }
+  for (std::uint32_t g = 0; g < kGaugeCount; ++g) {
+    names.insert(name(static_cast<Gauge>(g)));
+  }
+  for (std::uint32_t h = 0; h < kHistCount; ++h) {
+    names.insert(name(static_cast<Hist>(h)));
+  }
+  EXPECT_EQ(names.size(), kCounterCount + kGaugeCount + kHistCount);
+  EXPECT_EQ(names.count("unknown"), 0u);
+}
+
+Snapshot make(std::uint64_t counter, std::uint64_t gauge,
+              std::uint64_t bucket3, std::uint64_t span_nanos) {
+  Snapshot s;
+  s.enabled = true;
+  s.counters["eq.schedule_heap"] = counter;
+  s.gauges["eq.peak_depth"] = gauge;
+  s.histograms["buf.occupancy"].buckets[3] = bucket3;
+  s.spans["job/simulate"] = SpanStat{1, span_nanos};
+  return s;
+}
+
+TEST(SnapshotTest, MergeSemantics) {
+  Snapshot a = make(10, 5, 2, 100);
+  const Snapshot b = make(32, 9, 4, 250);
+  a.merge(b);
+  EXPECT_EQ(a.counters["eq.schedule_heap"], 42u);  // counters sum
+  EXPECT_EQ(a.gauges["eq.peak_depth"], 9u);        // gauges take the max
+  EXPECT_EQ(a.histograms["buf.occupancy"].buckets[3], 6u);  // buckets sum
+  EXPECT_EQ(a.spans["job/simulate"].count, 2u);    // spans sum both fields
+  EXPECT_EQ(a.spans["job/simulate"].nanos, 350u);
+}
+
+TEST(SnapshotTest, MergeUnionsDisjointKeys) {
+  Snapshot a;
+  a.counters["only.in.a"] = 1;
+  Snapshot b;
+  b.enabled = true;
+  b.counters["only.in.b"] = 2;
+  a.merge(b);
+  EXPECT_TRUE(a.enabled);  // enabled ORs
+  EXPECT_EQ(a.counters.size(), 2u);
+  EXPECT_EQ(a.counters["only.in.a"], 1u);
+  EXPECT_EQ(a.counters["only.in.b"], 2u);
+}
+
+TEST(SnapshotTest, MergeIsAssociative) {
+  const Snapshot a = make(1, 100, 7, 11);
+  const Snapshot b = make(20, 50, 8, 13);
+  Snapshot c = make(300, 75, 9, 17);
+  c.counters["extra"] = 4;  // a key the others lack
+
+  Snapshot left = a;  // (a . b) . c
+  {
+    Snapshot ab = a;
+    ab.merge(b);
+    left = ab;
+    left.merge(c);
+  }
+  Snapshot right = a;  // a . (b . c)
+  {
+    Snapshot bc = b;
+    bc.merge(c);
+    right = a;
+    right.merge(bc);
+  }
+  EXPECT_EQ(left, right);
+  // Byte-level associativity is the actual shard contract: any merge order
+  // must produce the identical snapshot file.
+  EXPECT_EQ(snapshot_to_json(left), snapshot_to_json(right));
+}
+
+TEST(SnapshotTest, MergeIsCommutative) {
+  const Snapshot a = make(1, 100, 7, 11);
+  const Snapshot b = make(20, 50, 8, 13);
+  Snapshot ab = a;
+  ab.merge(b);
+  Snapshot ba = b;
+  ba.merge(a);
+  EXPECT_EQ(snapshot_to_json(ab), snapshot_to_json(ba));
+}
+
+TEST(SnapshotTest, CollectCarriesEveryKnownMetric) {
+  const Snapshot snap = collect();
+  EXPECT_EQ(snap.enabled, compiled_in());
+  for (std::uint32_t c = 0; c < kCounterCount; ++c) {
+    EXPECT_EQ(snap.counters.count(name(static_cast<Counter>(c))), 1u)
+        << name(static_cast<Counter>(c));
+  }
+  for (std::uint32_t g = 0; g < kGaugeCount; ++g) {
+    EXPECT_EQ(snap.gauges.count(name(static_cast<Gauge>(g))), 1u)
+        << name(static_cast<Gauge>(g));
+  }
+  for (std::uint32_t h = 0; h < kHistCount; ++h) {
+    EXPECT_EQ(snap.histograms.count(name(static_cast<Hist>(h))), 1u)
+        << name(static_cast<Hist>(h));
+  }
+}
+
+TEST(SnapshotTest, JsonRoundTripsThroughCampaignParser) {
+  Snapshot original = make(123456789012345ull, 42, 9, 987654321);
+  original.counters["net.forward.rcad"] = 7;
+  original.spans["merge"] = SpanStat{3, 1500};
+  const std::string json = snapshot_to_json(original);
+  const Snapshot parsed = campaign::parse_telemetry_json(json);
+  EXPECT_EQ(parsed, original);
+  EXPECT_EQ(snapshot_to_json(parsed), json);
+}
+
+TEST(SnapshotTest, ParserRejectsGarbage) {
+  EXPECT_THROW(campaign::parse_telemetry_json("{}"), std::runtime_error);
+  EXPECT_THROW(campaign::parse_telemetry_json("not json"),
+               std::runtime_error);
+  EXPECT_THROW(campaign::parse_telemetry_json(
+                   "{\"telemetry\": {\"schema\": 2, \"enabled\": false, "
+                   "\"counters\": {}, \"gauges\": {}, \"histograms\": {}, "
+                   "\"spans\": {}}}"),
+               std::runtime_error);
+}
+
+TEST(TelemetryIoTest, ShardTelemetryPathMirrorsStatsPath) {
+  EXPECT_EQ(campaign::shard_telemetry_path("out/fig2a.shard-0-of-2.jsonl"),
+            "out/fig2a.shard-0-of-2.telemetry.json");
+  EXPECT_EQ(campaign::shard_telemetry_path("weird.log"),
+            "weird.log.telemetry.json");
+}
+
+}  // namespace
+}  // namespace tempriv::telemetry

@@ -36,6 +36,7 @@
 #include "campaign/merge.h"
 #include "campaign/supervisor.h"
 #include "campaign/sweeps.h"
+#include "campaign/telemetry_io.h"
 
 namespace {
 
@@ -66,6 +67,14 @@ int usage(std::ostream& os, int code) {
         "                       shard-stamped stem under --shard i/N)\n"
         "  --out DIR            results directory (default: $TEMPRIV_RESULTS_DIR\n"
         "                       or bench_results/)\n"
+        "  --telemetry PATH     write a telemetry snapshot (counters, phase\n"
+        "                       spans, memory gauges) here after the run; in\n"
+        "                       --shard auto:N mode each shard also writes a\n"
+        "                       .telemetry.json sibling next to its JSONL and\n"
+        "                       PATH gets their merge. Default builds compile\n"
+        "                       the probes out: the file is all zeros with\n"
+        "                       \"enabled\": false (build -DTEMPRIV_TELEMETRY=ON\n"
+        "                       for live counts; results are byte-identical)\n"
         "  --quiet              suppress the progress meter\n"
         "  --trace              enable per-packet tracing in every scenario\n"
         "                       (reports total link transmissions; untraced\n"
@@ -176,6 +185,7 @@ struct Options {
   bool seed_set = false;
   std::uint64_t seed = 0;
   std::string jsonl_path;
+  std::string telemetry_path;
   ShardMode mode = ShardMode::kSerial;
   campaign::ShardSpec shard;       // kSingle
   std::uint32_t fleet_shards = 0;  // kAuto
@@ -223,6 +233,8 @@ Options parse_options(int argc, char** argv) {
       parse_shard_arg(opt, value());
     } else if (arg == "--jsonl") {
       opt.jsonl_path = value();
+    } else if (arg == "--telemetry") {
+      opt.telemetry_path = value();
     } else if (arg == "--out") {
       setenv("TEMPRIV_RESULTS_DIR", value().c_str(), /*overwrite=*/1);
     } else if (arg == "--quiet") {
@@ -263,12 +275,14 @@ std::ofstream open_output(const std::string& path) {
   return file;
 }
 
-/// Runs one shard to its two artifact files. Shared by --shard i/N (in
-/// process) and --shard auto:N (inside each forked child).
+/// Runs one shard to its two artifact files (plus an optional telemetry
+/// snapshot). Shared by --shard i/N (in process) and --shard auto:N
+/// (inside each forked child).
 void run_one_shard(const campaign::Sweep& sweep, const Options& opt,
                    const campaign::ShardSpec& shard, std::size_t threads,
                    campaign::ProgressListener* progress,
-                   const std::string& jsonl_path) {
+                   const std::string& jsonl_path,
+                   const std::string& telemetry_path) {
   campaign::RunnerOptions options;
   options.threads = threads;
   options.progress = progress;
@@ -281,6 +295,10 @@ void run_one_shard(const campaign::Sweep& sweep, const Options& opt,
   if (!jsonl_file || !stats_file) {
     throw std::runtime_error("short write on shard artifacts for " +
                              jsonl_path);
+  }
+  // Collected after the worker pool has quiesced (run_sweep_shard joins it).
+  if (!telemetry_path.empty()) {
+    campaign::write_telemetry_file(telemetry_path, telemetry::collect());
   }
 }
 
@@ -299,13 +317,17 @@ int run_single_shard(const campaign::Sweep& sweep, const Options& opt) {
 
   campaign::ProgressReporter progress(std::cerr, owned);
   run_one_shard(sweep, opt, opt.shard, opt.jobs,
-                opt.quiet ? nullptr : &progress, jsonl_path);
+                opt.quiet ? nullptr : &progress, jsonl_path,
+                opt.telemetry_path);
   if (!opt.quiet) progress.finish();
 
   std::cout << "shard " << opt.shard.index << "/" << opt.shard.count << ": "
             << owned << " of " << total_jobs << " jobs\n"
             << "(jsonl: " << jsonl_path << ")\n"
             << "(stats: " << campaign::shard_stats_path(jsonl_path) << ")\n";
+  if (!opt.telemetry_path.empty()) {
+    std::cout << "(telemetry: " << opt.telemetry_path << ")\n";
+  }
   return 0;
 }
 
@@ -332,6 +354,12 @@ int run_shard_fleet_and_merge(const campaign::Sweep& sweep,
   campaign::ProgressReporter progress(std::cerr, total_jobs);
   campaign::ProgressListener* listener = opt.quiet ? nullptr : &progress;
 
+  // Children heartbeat once a second so the supervisor can distinguish a
+  // shard grinding through one long job from a hung one.
+  campaign::FleetOptions fleet_options;
+  fleet_options.stall_after = std::chrono::seconds(30);
+  fleet_options.stall_log = opt.quiet ? nullptr : &std::cerr;
+
   // Fork the fleet before any thread exists in this process (fork and
   // threads do not mix); each child spawns its own worker pool.
   std::string fleet_error;
@@ -339,9 +367,15 @@ int run_shard_fleet_and_merge(const campaign::Sweep& sweep,
       shards, listener,
       [&](const campaign::ShardSpec& shard, int progress_fd) {
         try {
-          campaign::PipeProgress pipe_progress(progress_fd);
+          const std::string shard_jsonl =
+              shard_jsonl_path(dir, sweep.tag, shard);
+          campaign::PipeProgress pipe_progress(progress_fd,
+                                               std::chrono::seconds(1));
           run_one_shard(sweep, opt, shard, child_threads, &pipe_progress,
-                        shard_jsonl_path(dir, sweep.tag, shard));
+                        shard_jsonl,
+                        opt.telemetry_path.empty()
+                            ? std::string()
+                            : campaign::shard_telemetry_path(shard_jsonl));
           return 0;
         } catch (const std::exception& e) {
           std::cerr << "tempriv-campaign [shard " << shard.index << "/"
@@ -349,7 +383,7 @@ int run_shard_fleet_and_merge(const campaign::Sweep& sweep,
           return 1;
         }
       },
-      &fleet_error);
+      &fleet_error, fleet_options);
   if (rc != 0) {
     throw std::runtime_error("shard fleet failed: " + fleet_error);
   }
@@ -367,9 +401,26 @@ int run_shard_fleet_and_merge(const campaign::Sweep& sweep,
   const std::string stats_path = campaign::shard_stats_path(merged_jsonl);
   open_output(stats_path) << merged.stats_json;
 
+  if (!opt.telemetry_path.empty()) {
+    // Campaign-wide view: the shards' snapshots (simulation counters)
+    // folded together with this process's own (which carries the merge
+    // span). Merge order is irrelevant — snapshot merge is associative
+    // and commutative (tested).
+    telemetry::Snapshot combined = telemetry::collect();
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      combined.merge(campaign::load_telemetry_file(
+          campaign::shard_telemetry_path(shard_jsonl_path(
+              dir, sweep.tag, campaign::ShardSpec{i, shards}))));
+    }
+    campaign::write_telemetry_file(opt.telemetry_path, combined);
+  }
+
   bench::emit(sweep.tag, merged.table);
   std::cout << "(jsonl: " << merged_jsonl << ")\n"
             << "(stats: " << stats_path << ")\n";
+  if (!opt.telemetry_path.empty()) {
+    std::cout << "(telemetry: " << opt.telemetry_path << ")\n";
+  }
   campaign::print_campaign_summary(std::cout, merged.total,
                                    sweep.points.size(), opt.reps);
   return 0;
@@ -404,9 +455,17 @@ int run_serial(const campaign::Sweep& sweep, const Options& opt) {
     campaign::write_campaign_stats_json(stats_file, manifest, nullptr, stats);
   }
 
+  // Collected after run_sweep has joined its worker pool.
+  if (!opt.telemetry_path.empty()) {
+    campaign::write_telemetry_file(opt.telemetry_path, telemetry::collect());
+  }
+
   bench::emit(sweep.tag, run.table);
   std::cout << "(jsonl: " << jsonl_path << ")\n"
             << "(stats: " << stats_path << ")\n";
+  if (!opt.telemetry_path.empty()) {
+    std::cout << "(telemetry: " << opt.telemetry_path << ")\n";
+  }
   campaign::print_campaign_summary(std::cout, stats.total(),
                                    sweep.points.size(), opt.reps);
   return 0;

@@ -32,6 +32,7 @@
 
 #include "bench/bench_util.h"
 #include "campaign/merge.h"
+#include "campaign/telemetry_io.h"
 
 namespace {
 
@@ -50,6 +51,10 @@ int usage(std::ostream& os, int code) {
         "                  files); writes nothing. exit 0 iff mergeable\n"
         "  --jsonl PATH    write the merged JSONL here\n"
         "                  (default: <results-dir>/<tag>.jsonl)\n"
+        "  --telemetry PATH  merge the shards' .telemetry.json siblings\n"
+        "                  (sum counters, max gauges, merge histograms and\n"
+        "                  spans) and write the combined snapshot here;\n"
+        "                  errors if any shard lacks its sibling\n"
         "  --out DIR       results directory (default: $TEMPRIV_RESULTS_DIR\n"
         "                  or bench_results/)\n"
         "\n"
@@ -61,6 +66,7 @@ int usage(std::ostream& os, int code) {
 int run(int argc, char** argv) {
   bool check_only = false;
   std::string jsonl_path;
+  std::string telemetry_path;
   std::vector<std::string> shard_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +78,8 @@ int run(int argc, char** argv) {
       check_only = true;
     } else if (arg == "--jsonl") {
       jsonl_path = value();
+    } else if (arg == "--telemetry") {
+      telemetry_path = value();
     } else if (arg == "--out") {
       setenv("TEMPRIV_RESULTS_DIR", value().c_str(), /*overwrite=*/1);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -131,9 +139,24 @@ int run(int argc, char** argv) {
     stats_file << merged.stats_json;
   }
 
+  if (!telemetry_path.empty()) {
+    // Shard snapshots fold with this process's own collect() (which carries
+    // the merge span); in a default build the latter is all zeros with
+    // enabled=false and the merge is a no-op on the shard counts.
+    telemetry::Snapshot combined = telemetry::collect();
+    for (const std::string& path : shard_paths) {
+      combined.merge(campaign::load_telemetry_file(
+          campaign::shard_telemetry_path(path)));
+    }
+    campaign::write_telemetry_file(telemetry_path, combined);
+  }
+
   bench::emit(merged.manifest.tag, merged.table);
   std::cout << "(jsonl: " << jsonl_path << ")\n"
             << "(stats: " << stats_path << ")\n";
+  if (!telemetry_path.empty()) {
+    std::cout << "(telemetry: " << telemetry_path << ")\n";
+  }
   campaign::print_campaign_summary(std::cout, merged.total,
                                    merged.manifest.points,
                                    merged.manifest.reps);
